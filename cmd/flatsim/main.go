@@ -1,0 +1,205 @@
+// Command flatsim regenerates the flat-tree paper's evaluation (§3): every
+// figure's data series, the (m, n) profiling procedure, and the wiring
+// property checks, printed as aligned tables or TSV.
+//
+// Usage:
+//
+//	flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|stats|all
+//
+// Examples:
+//
+//	flatsim -kmax 32 fig5            # the paper's full sweep
+//	flatsim -kmax 12 -eps 0.1 fig8   # throughput sweep, laptop scale
+//	flatsim -hybridk 30 hybrid       # the paper's 30-pod hybrid study
+//	flatsim -tsv all > results.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flattree/internal/core"
+	"flattree/internal/experiments"
+	"flattree/internal/fattree"
+	"flattree/internal/jellyfish"
+	"flattree/internal/topo"
+	"flattree/internal/twostage"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	var (
+		kmin    = flag.Int("kmin", cfg.KMin, "smallest fat-tree parameter k (even)")
+		kmax    = flag.Int("kmax", cfg.KMax, "largest fat-tree parameter k")
+		kstep   = flag.Int("kstep", cfg.KStep, "k sweep step")
+		seed    = flag.Uint64("seed", cfg.Seed, "seed for random constructions and placements")
+		eps     = flag.Float64("eps", cfg.Epsilon, "max-concurrent-flow approximation epsilon")
+		hybridk = flag.Int("hybridk", cfg.HybridK, "network size for the hybrid experiment (paper: 30)")
+		profk   = flag.Int("profilek", 16, "network size for the profiling experiment")
+		trials  = flag.Int("trials", 1, "average randomized experiments over this many seeds")
+		tsv     = flag.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
+		expK    = flag.Int("exportk", 4, "network size for the export subcommand")
+		expMode = flag.String("exportmode", "global-random", "flat-tree mode for the export subcommand")
+		expFmt  = flag.String("format", "dot", "export format: dot or json")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|latency|stats|export|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	cfg.KMin, cfg.KMax, cfg.KStep = *kmin, *kmax, *kstep
+	cfg.Seed, cfg.Epsilon, cfg.HybridK = *seed, *eps, *hybridk
+	cfg.Trials = *trials
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	emit := func(t *experiments.Table) {
+		if *tsv {
+			if err := t.WriteTSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			return
+		}
+		fmt.Println(t.String())
+	}
+
+	var run func(string)
+	run = func(name string) {
+		switch name {
+		case "fig5":
+			t, err := experiments.Fig5(cfg)
+			check(err)
+			emit(t)
+		case "fig6":
+			t, err := experiments.Fig6(cfg)
+			check(err)
+			emit(t)
+		case "fig7":
+			t, err := experiments.Fig7(cfg)
+			check(err)
+			emit(t)
+		case "fig8":
+			t, err := experiments.Fig8(cfg)
+			check(err)
+			emit(t)
+		case "hybrid":
+			t, _, err := experiments.Hybrid(cfg)
+			check(err)
+			emit(t)
+		case "profile":
+			t, res, err := experiments.Profile(*profk)
+			check(err)
+			emit(t)
+			fmt.Printf("best: m=%d n=%d apl=%.3f (paper's default: m=%d n=%d)\n",
+				res.BestM, res.BestN, res.BestAPL, res.K/8, 2*res.K/8)
+		case "props":
+			t, _, err := experiments.Props(cfg)
+			check(err)
+			emit(t)
+		case "faults":
+			t, err := experiments.Faults(cfg, cfg.KMax)
+			check(err)
+			emit(t)
+		case "latency":
+			t, err := experiments.Latency(cfg, cfg.KMax, 0)
+			check(err)
+			emit(t)
+		case "stats":
+			emit(statsTable(cfg))
+		case "export":
+			exportNetwork(*expK, *expMode, *expFmt)
+		case "all":
+			for _, n := range []string{"stats", "props", "fig5", "fig6", "fig7", "fig8", "hybrid", "profile", "faults", "latency"} {
+				run(n)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "flatsim: unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+	run(flag.Arg(0))
+}
+
+// statsTable summarizes the constructed topologies per k: equipment counts
+// and link tag breakdown for flat-tree in each mode.
+func statsTable(cfg experiments.Config) *experiments.Table {
+	t := &experiments.Table{
+		Title: "topology inventory per k",
+		Header: []string{"k", "topology", "servers", "switches", "links",
+			"clos-links", "conv-links", "side-links", "rand-links"},
+	}
+	for _, k := range cfg.Ks() {
+		add := func(name string, nw *topo.Network) {
+			st := nw.Stats()
+			t.AddRow(fmt.Sprint(k), name,
+				fmt.Sprint(st.Servers),
+				fmt.Sprint(st.EdgeSwitches+st.AggSwitches+st.CoreSwitches),
+				fmt.Sprint(st.Links),
+				fmt.Sprint(st.LinksByTag[topo.TagClos]),
+				fmt.Sprint(st.LinksByTag[topo.TagConverter]),
+				fmt.Sprint(st.LinksByTag[topo.TagSide]),
+				fmt.Sprint(st.LinksByTag[topo.TagRandom]))
+		}
+		fat, err := fattree.New(k)
+		check(err)
+		add("fat-tree", fat.Net)
+		rg, err := jellyfish.New(k, cfg.Seed)
+		check(err)
+		add("random-graph", rg.Net)
+		_, n := core.DefaultMN(k)
+		ts, err := twostage.New(k, n, cfg.Seed)
+		check(err)
+		add("two-stage-rg", ts.Net)
+		ft, err := core.Build(core.Params{K: k})
+		check(err)
+		for _, mode := range []core.Mode{core.ModeClos, core.ModeGlobalRandom, core.ModeLocalRandom} {
+			check(ft.SetUniformMode(mode))
+			add("flat-tree/"+mode.String(), ft.Net())
+		}
+	}
+	return t
+}
+
+// exportNetwork writes a flat-tree's effective network to stdout as DOT or
+// JSON for external visualization and tooling.
+func exportNetwork(k int, mode, format string) {
+	ft, err := core.Build(core.Params{K: k})
+	check(err)
+	var m core.Mode
+	switch mode {
+	case "clos":
+		m = core.ModeClos
+	case "global-random":
+		m = core.ModeGlobalRandom
+	case "local-random":
+		m = core.ModeLocalRandom
+	default:
+		fatal(fmt.Errorf("unknown export mode %q", mode))
+	}
+	check(ft.SetUniformMode(m))
+	switch format {
+	case "dot":
+		check(ft.Net().WriteDOT(os.Stdout))
+	case "json":
+		check(ft.Net().WriteJSON(os.Stdout))
+	default:
+		fatal(fmt.Errorf("unknown export format %q", format))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flatsim:", err)
+	os.Exit(1)
+}

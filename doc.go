@@ -1,0 +1,22 @@
+// Package flattree is a complete Go implementation of the flat-tree
+// convertible data-center network architecture (Xia & Ng, HotNets-XV 2016)
+// and of every system its evaluation depends on.
+//
+// The implementation lives under internal/ — see README.md for the
+// architecture tour, DESIGN.md for the system inventory and the
+// construction decisions the workshop paper leaves open, and
+// EXPERIMENTS.md for paper-versus-measured results for every figure.
+// The root package carries the benchmark harness (bench_test.go): each
+// BenchmarkFigN regenerates one figure of the paper, and
+// integration_test.go cross-validates the independent subsystems (metric
+// computation, routing tables, LP solvers, and the packet simulator)
+// against each other.
+//
+// Entry points:
+//
+//	cmd/flatsim  — regenerate every table/figure (fig5..fig8, hybrid,
+//	               profile, props, faults, latency, export)
+//	cmd/flatctl  — the §2.6 control plane as real processes
+//	examples/    — quickstart, hybrid-zones, controlplane,
+//	               routing-ablation, adaptive
+package flattree

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTransitionSinglePod(t *testing.T) {
+	ft := build(t, 8)
+	m, n := ft.Params.M, ft.Params.N
+	rep, err := ft.AnalyzeTransition([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tapped server of pod 2 is offline during the window: (m+n)
+	// per pair, d = k/2 pairs.
+	wantDetached := (m + n) * 4
+	if rep.DetachedServers != wantDetached {
+		t.Errorf("detached = %d, want %d", rep.DetachedServers, wantDetached)
+	}
+	if !rep.Connected {
+		t.Error("single-pod conversion must not partition the fabric")
+	}
+}
+
+// TestTransitionAllPodsPartitions documents the finding that motivates
+// staged conversion: at the default (m, n) = (1, 2) for k = 8 each switch
+// pair keeps a single untapped core uplink, whose rotation offset splits
+// the pods into repeat-period residue classes — converting every pod at
+// once partitions the fabric into period-many islands.
+func TestTransitionAllPodsPartitions(t *testing.T) {
+	ft := build(t, 8)
+	all := make([]int, 8)
+	for i := range all {
+		all[i] = i
+	}
+	rep, err := ft.AnalyzeTransition(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Connected {
+		t.Error("all-at-once conversion at k=8 should partition the fabric")
+	}
+	m, n := ft.Params.M, ft.Params.N
+	wantDetached := (m + n) * 4 * 8
+	if rep.DetachedServers != wantDetached {
+		t.Errorf("detached = %d, want %d", rep.DetachedServers, wantDetached)
+	}
+	// Surviving switch links: the edge-agg mesh ((k/2)^2 per pod) plus the
+	// untapped agg-core links (k/2-m-n per pair).
+	wantLinks := 8*16 + 8*4*(4-m-n)
+	if rep.SurvivingLinks != wantLinks {
+		t.Errorf("surviving links = %d, want %d", rep.SurvivingLinks, wantLinks)
+	}
+	// Small batches avoid the partition: each pod alone keeps the fabric
+	// connected (TestTransitionSinglePod), and so does each half.
+	for _, batch := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		rep, err := ft.AnalyzeTransition(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Connected {
+			t.Errorf("half-fabric batch %v should stay connected", batch)
+		}
+	}
+}
+
+// TestTransitionFullTap: with m+n = k/2 every agg-core cable and every
+// server is tapped, so a converting pod goes entirely dark: all its servers
+// detach and the remaining pods stay connected among themselves.
+func TestTransitionFullTap(t *testing.T) {
+	ft, err := Build(Params{K: 8, M: 2, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ft.AnalyzeTransition([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetachedServers != 16 {
+		t.Errorf("detached = %d, want all 16 of pod 0", rep.DetachedServers)
+	}
+	if !rep.Connected {
+		t.Error("remaining pods should stay connected")
+	}
+	// All pods at once: every server is down; connectivity is then
+	// vacuous, and the report must say so via the detached count.
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	repAll, err := ft.AnalyzeTransition(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repAll.DetachedServers != 128 {
+		t.Errorf("detached = %d, want 128", repAll.DetachedServers)
+	}
+}
+
+func TestTransitionErrors(t *testing.T) {
+	ft := build(t, 4)
+	if _, err := ft.AnalyzeTransition([]int{9}); err == nil {
+		t.Error("bad pod accepted")
+	}
+}
+
+func TestTransitionNoPods(t *testing.T) {
+	ft := build(t, 6)
+	nw, err := ft.TransitionNetwork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Links) != len(ft.Net().Links) {
+		t.Errorf("empty transition changed links: %d vs %d", len(nw.Links), len(ft.Net().Links))
+	}
+}

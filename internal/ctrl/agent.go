@@ -1,0 +1,174 @@
+package ctrl
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"flattree/internal/converter"
+)
+
+// Agent is the pod-side endpoint of the control plane: the software model
+// of a pod's converter switches. It connects to the controller, accepts
+// staged configurations, and flips them atomically on commit — the role a
+// converter driver (e.g. an optical switch's software interface, §2.6)
+// plays in a real deployment.
+type Agent struct {
+	pod uint32
+
+	mu      sync.Mutex
+	active  map[uint32]converter.Config
+	staged  map[uint32]converter.Config
+	stagedE uint64
+	commits int
+
+	// ApplyDelay simulates converter switching latency between commit
+	// receipt and acknowledgment (the paper notes flat-tree "changes
+	// topology infrequently", so converters may be slow and cheap).
+	ApplyDelay time.Duration
+	// RejectStage makes the agent refuse stages (failure injection for
+	// controller tests).
+	RejectStage bool
+}
+
+// NewAgent creates an agent for a pod with its converters' current
+// configurations (converter ID -> config).
+func NewAgent(pod int, initial []ConfigEntry) *Agent {
+	a := &Agent{pod: uint32(pod), active: make(map[uint32]converter.Config, len(initial))}
+	for _, e := range initial {
+		a.active[e.Converter] = e.Config
+	}
+	return a
+}
+
+// Pod returns the agent's pod index.
+func (a *Agent) Pod() int { return int(a.pod) }
+
+// Configs snapshots the active converter configurations.
+func (a *Agent) Configs() map[uint32]converter.Config {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[uint32]converter.Config, len(a.active))
+	for k, v := range a.active {
+		out[k] = v
+	}
+	return out
+}
+
+// Commits returns how many epochs this agent has committed.
+func (a *Agent) Commits() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.commits
+}
+
+// Run dials the controller and serves the protocol until the context is
+// canceled or the connection drops. A nil error means the context ended
+// the session.
+func (a *Agent) Run(ctx context.Context, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close() // unblocks ReadFrame
+		case <-stop:
+		}
+	}()
+
+	a.mu.Lock()
+	n := len(a.active)
+	a.mu.Unlock()
+	if err := WriteFrame(conn, MsgHello, MarshalHello(Hello{Pod: a.pod, NumConverters: uint32(n)})); err != nil {
+		return err
+	}
+	for {
+		t, payload, err := ReadFrame(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if err := a.dispatch(conn, t, payload); err != nil {
+			return err
+		}
+	}
+}
+
+func (a *Agent) dispatch(conn net.Conn, t MsgType, payload []byte) error {
+	switch t {
+	case MsgStage:
+		s, err := UnmarshalStage(payload)
+		if err != nil {
+			return err
+		}
+		if a.RejectStage {
+			return WriteFrame(conn, MsgError, MarshalError(ErrorMsg{
+				Epoch: s.Epoch, Pod: a.pod, Text: "stage rejected (injected failure)"}))
+		}
+		a.mu.Lock()
+		for _, e := range s.Entries {
+			if _, ok := a.active[e.Converter]; !ok {
+				a.mu.Unlock()
+				return WriteFrame(conn, MsgError, MarshalError(ErrorMsg{
+					Epoch: s.Epoch, Pod: a.pod,
+					Text: fmt.Sprintf("converter %d not in pod %d", e.Converter, a.pod)}))
+			}
+		}
+		a.staged = make(map[uint32]converter.Config, len(s.Entries))
+		for _, e := range s.Entries {
+			a.staged[e.Converter] = e.Config
+		}
+		a.stagedE = s.Epoch
+		a.mu.Unlock()
+		return WriteFrame(conn, MsgStaged, MarshalAck(Ack{Epoch: s.Epoch, Pod: a.pod}))
+
+	case MsgCommit:
+		cm, err := UnmarshalCommit(payload)
+		if err != nil {
+			return err
+		}
+		a.mu.Lock()
+		if a.staged == nil || a.stagedE != cm.Epoch {
+			a.mu.Unlock()
+			return WriteFrame(conn, MsgError, MarshalError(ErrorMsg{
+				Epoch: cm.Epoch, Pod: a.pod, Text: "commit for unstaged epoch"}))
+		}
+		if a.ApplyDelay > 0 {
+			a.mu.Unlock()
+			time.Sleep(a.ApplyDelay)
+			a.mu.Lock()
+		}
+		for id, cfg := range a.staged {
+			a.active[id] = cfg
+		}
+		a.staged = nil
+		a.commits++
+		a.mu.Unlock()
+		return WriteFrame(conn, MsgCommitted, MarshalAck(Ack{Epoch: cm.Epoch, Pod: a.pod}))
+
+	case MsgAbort:
+		cm, err := UnmarshalCommit(payload)
+		if err != nil {
+			return err
+		}
+		a.mu.Lock()
+		if a.staged != nil && a.stagedE == cm.Epoch {
+			a.staged = nil
+		}
+		a.mu.Unlock()
+		return nil
+
+	default:
+		return fmt.Errorf("ctrl: agent got unexpected %s", t)
+	}
+}

@@ -1,0 +1,326 @@
+package ctrl
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"flattree/internal/core"
+)
+
+// Controller is the centralized network controller of §2.6. It owns the
+// authoritative flat-tree model, plans converter reconfigurations for
+// target per-pod modes, and drives registered pod agents through a
+// two-phase stage/commit exchange so that a conversion is all-or-nothing.
+type Controller struct {
+	mu     sync.Mutex
+	ft     *core.FlatTree
+	epoch  uint64 // last committed epoch
+	issued uint64 // last issued epoch (monotone across failed attempts)
+	agents map[uint32]*agentConn
+	inbox  chan event
+	reg    chan struct{} // closed and re-made on each registration
+
+	wg       sync.WaitGroup
+	listener net.Listener
+	closed   bool
+}
+
+type agentConn struct {
+	pod  uint32
+	conn net.Conn
+	mu   sync.Mutex // serializes writes
+}
+
+func (a *agentConn) send(t MsgType, payload []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return WriteFrame(a.conn, t, payload)
+}
+
+type event struct {
+	pod     uint32
+	msgType MsgType
+	payload []byte
+	err     error
+}
+
+// NewController creates a controller owning the given flat-tree model.
+func NewController(ft *core.FlatTree) *Controller {
+	return &Controller{
+		ft:     ft,
+		agents: make(map[uint32]*agentConn),
+		inbox:  make(chan event, 256),
+		reg:    make(chan struct{}),
+	}
+}
+
+// FlatTree returns the authoritative model.
+func (c *Controller) FlatTree() *core.FlatTree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ft
+}
+
+// Epoch returns the last committed epoch.
+func (c *Controller) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// NumAgents returns the number of registered pod agents.
+func (c *Controller) NumAgents() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.agents)
+}
+
+// Serve accepts agent connections on l until the listener is closed.
+func (c *Controller) Serve(l net.Listener) {
+	c.mu.Lock()
+	c.listener = l
+	c.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handle(conn)
+		}()
+	}
+}
+
+// Close shuts the controller down: stops accepting and closes agent
+// connections.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	c.closed = true
+	if c.listener != nil {
+		c.listener.Close()
+	}
+	for _, a := range c.agents {
+		a.conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+func (c *Controller) handle(conn net.Conn) {
+	t, payload, err := ReadFrame(conn)
+	if err != nil || t != MsgHello {
+		conn.Close()
+		return
+	}
+	hello, err := UnmarshalHello(payload)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	a := &agentConn{pod: hello.Pod, conn: conn}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old, ok := c.agents[hello.Pod]; ok {
+		old.conn.Close()
+	}
+	c.agents[hello.Pod] = a
+	close(c.reg)
+	c.reg = make(chan struct{})
+	c.mu.Unlock()
+
+	for {
+		t, payload, err := ReadFrame(conn)
+		if err != nil {
+			c.inbox <- event{pod: hello.Pod, err: err}
+			c.mu.Lock()
+			if c.agents[hello.Pod] == a {
+				delete(c.agents, hello.Pod)
+			}
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.inbox <- event{pod: hello.Pod, msgType: t, payload: payload}
+	}
+}
+
+// WaitForAgents blocks until n agents are registered or ctx expires.
+func (c *Controller) WaitForAgents(ctx context.Context, n int) error {
+	for {
+		c.mu.Lock()
+		got := len(c.agents)
+		ch := c.reg
+		c.mu.Unlock()
+		if got >= n {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return fmt.Errorf("ctrl: %w waiting for %d agents (have %d)", ctx.Err(), n, got)
+		}
+	}
+}
+
+// Plan computes the per-pod configuration diffs needed to move the model
+// from its current modes to the target modes. Pods with no changes are
+// omitted. Plan has no side effects and needs no network.
+func (c *Controller) Plan(modes []core.Mode) (map[uint32][]ConfigEntry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(modes) != c.ft.Params.K {
+		return nil, fmt.Errorf("ctrl: %d modes for %d pods", len(modes), c.ft.Params.K)
+	}
+	current := c.ft.Configs()
+	plan := make(map[uint32][]ConfigEntry)
+	for id, ci := range c.ft.Convs {
+		target := c.ft.ConfigFor(id, modes)
+		if target != current[id] {
+			plan[uint32(ci.Pod)] = append(plan[uint32(ci.Pod)], ConfigEntry{
+				Converter: uint32(id),
+				Config:    target,
+			})
+		}
+	}
+	return plan, nil
+}
+
+// Convert drives the two-phase reconfiguration to the target modes: stage
+// the new configurations at every affected pod agent, and commit once all
+// have staged. On any failure the staged epoch is aborted everywhere and
+// the model is left unchanged. The supplied context bounds the whole
+// exchange.
+func (c *Controller) Convert(ctx context.Context, modes []core.Mode) error {
+	plan, err := c.Plan(modes)
+	if err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	// Epochs are issued monotonically even across failed attempts so that
+	// stale acknowledgments from an aborted exchange can never satisfy a
+	// later one.
+	c.issued++
+	epoch := c.issued
+	involved := make(map[uint32]*agentConn, len(plan))
+	for pod := range plan {
+		a, ok := c.agents[pod]
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("ctrl: no agent registered for pod %d", pod)
+		}
+		involved[pod] = a
+	}
+	c.mu.Unlock()
+
+	if len(plan) == 0 {
+		// No converter changes; just update the model (mode labels may
+		// still differ, e.g. all-Clos to all-Clos).
+		return c.commitModel(modes, epoch)
+	}
+
+	abort := func() {
+		for _, a := range involved {
+			_ = a.send(MsgAbort, MarshalCommit(Commit{Epoch: epoch}))
+		}
+	}
+
+	// Phase 1: stage.
+	for pod, a := range involved {
+		if err := a.send(MsgStage, MarshalStage(Stage{Epoch: epoch, Entries: plan[pod]})); err != nil {
+			abort()
+			return fmt.Errorf("ctrl: stage to pod %d: %w", pod, err)
+		}
+	}
+	if err := c.collectAcks(ctx, involved, epoch, MsgStaged); err != nil {
+		abort()
+		return fmt.Errorf("ctrl: stage phase: %w", err)
+	}
+
+	// Phase 2: commit.
+	for pod, a := range involved {
+		if err := a.send(MsgCommit, MarshalCommit(Commit{Epoch: epoch})); err != nil {
+			return fmt.Errorf("ctrl: commit to pod %d: %w", pod, err)
+		}
+	}
+	if err := c.collectAcks(ctx, involved, epoch, MsgCommitted); err != nil {
+		return fmt.Errorf("ctrl: commit phase: %w", err)
+	}
+
+	return c.commitModel(modes, epoch)
+}
+
+func (c *Controller) commitModel(modes []core.Mode, epoch uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ft.SetModes(modes); err != nil {
+		return err
+	}
+	c.epoch = epoch
+	return nil
+}
+
+// collectAcks waits for the given ack type from every involved pod.
+func (c *Controller) collectAcks(ctx context.Context, involved map[uint32]*agentConn, epoch uint64, want MsgType) error {
+	pending := make(map[uint32]bool, len(involved))
+	for pod := range involved {
+		pending[pod] = true
+	}
+	for len(pending) > 0 {
+		select {
+		case ev := <-c.inbox:
+			if ev.err != nil {
+				if pending[ev.pod] {
+					return fmt.Errorf("ctrl: agent for pod %d failed: %w", ev.pod, ev.err)
+				}
+				continue
+			}
+			switch ev.msgType {
+			case want:
+				ack, err := UnmarshalAck(ev.payload)
+				if err != nil {
+					return err
+				}
+				if ack.Epoch == epoch {
+					delete(pending, ack.Pod)
+				}
+			case MsgError:
+				em, err := UnmarshalError(ev.payload)
+				if err != nil {
+					return err
+				}
+				return fmt.Errorf("ctrl: pod %d rejected epoch %d: %s", em.Pod, em.Epoch, em.Text)
+			default:
+				// Stale message from a previous exchange; ignore.
+			}
+		case <-ctx.Done():
+			var missing []uint32
+			for pod := range pending {
+				missing = append(missing, pod)
+			}
+			return fmt.Errorf("ctrl: %w awaiting %s from pods %v", ctx.Err(), want, missing)
+		}
+	}
+	return nil
+}
+
+// ConfigsForPod extracts the model's current configuration entries for one
+// pod, used to initialize agents.
+func ConfigsForPod(ft *core.FlatTree, pod int) []ConfigEntry {
+	var entries []ConfigEntry
+	configs := ft.Configs()
+	for id, ci := range ft.Convs {
+		if ci.Pod == pod {
+			entries = append(entries, ConfigEntry{Converter: uint32(id), Config: configs[id]})
+		}
+	}
+	return entries
+}

@@ -1,0 +1,93 @@
+package ctrl
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flattree/internal/core"
+)
+
+func TestStagedConvertBatches(t *testing.T) {
+	k := 8
+	c, agents, cleanup := startPlant(t, k)
+	defer cleanup()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	reports, err := c.StagedConvert(ctx, uniformModes(k, core.ModeGlobalRandom), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("got %d batch reports, want 4", len(reports))
+	}
+	for i, r := range reports {
+		if !r.Connected {
+			t.Errorf("batch %d transition disconnected: %+v", i, r)
+		}
+	}
+	// Four batches, four epochs.
+	if c.Epoch() != 4 {
+		t.Errorf("epoch = %d, want 4", c.Epoch())
+	}
+	// Hardware matches the model everywhere.
+	want := c.FlatTree().Configs()
+	for _, a := range agents {
+		for id, cfg := range a.Configs() {
+			if want[id] != cfg {
+				t.Fatalf("pod %d converter %d: %s != %s", a.Pod(), id, cfg, want[id])
+			}
+		}
+	}
+	if c.FlatTree().Mode(7) != core.ModeGlobalRandom {
+		t.Error("target mode not reached")
+	}
+}
+
+// TestStagedConvertRefusesPartition: converting every pod in one batch at
+// k=8's default (m, n) would partition the fabric during the switching
+// window; with requireConnected the controller must refuse before touching
+// any agent.
+func TestStagedConvertRefusesPartition(t *testing.T) {
+	k := 8
+	c, agents, cleanup := startPlant(t, k)
+	defer cleanup()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	_, err := c.StagedConvert(ctx, uniformModes(k, core.ModeGlobalRandom), k, true)
+	if err == nil {
+		t.Fatal("all-at-once staged conversion should be refused")
+	}
+	if c.Epoch() != 0 {
+		t.Errorf("epoch advanced to %d on refused conversion", c.Epoch())
+	}
+	for _, a := range agents {
+		if a.Commits() != 0 {
+			t.Errorf("pod %d committed despite refusal", a.Pod())
+		}
+	}
+	// Without the connectivity requirement it proceeds (operator's call).
+	if _, err := c.StagedConvert(ctx, uniformModes(k, core.ModeGlobalRandom), k, false); err != nil {
+		t.Fatalf("unchecked conversion failed: %v", err)
+	}
+	if c.FlatTree().Mode(0) != core.ModeGlobalRandom {
+		t.Error("conversion did not land")
+	}
+}
+
+func TestStagedConvertNoChanges(t *testing.T) {
+	k := 4
+	c, _, cleanup := startPlant(t, k)
+	defer cleanup()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	reports, err := c.StagedConvert(ctx, uniformModes(k, core.ModeClos), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Errorf("no-op conversion produced %d reports", len(reports))
+	}
+}

@@ -1,0 +1,81 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"flattree/internal/core"
+)
+
+// ZoneRequest describes how many servers each class of workload needs
+// (§2.6: the controller "may coordinate with workload placement software to
+// take advantage of the topologies"). Servers are requested, pods are
+// allocated: each pod holds k^2/4 servers.
+type ZoneRequest struct {
+	// GlobalServers need the network-wide approximated random graph
+	// (large clusters, broadcast/incast hot spots).
+	GlobalServers int
+	// LocalServers need per-pod local random graphs (small all-to-all
+	// clusters).
+	LocalServers int
+	// ClosServers need Clos operation (rich equal-cost redundancy,
+	// predictable path lengths, rack-level locality).
+	ClosServers int
+}
+
+// PlanZoneModes turns a ZoneRequest into a per-pod mode assignment for a
+// flat-tree(k).
+//
+// The global-random zone is always a single contiguous run of pods placed
+// first: the 6-port side connectors only pair adjacent pods, so a
+// fragmented global zone would lose its inter-pod links at every fragment
+// boundary (ConfigFor falls back to Local there). Local-random and Clos
+// pods have no inter-pod converter state and may sit anywhere; leftover
+// pods default to Clos, the cheapest mode to convert away from later.
+func PlanZoneModes(k int, req ZoneRequest) ([]core.Mode, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("ctrl: invalid k %d", k)
+	}
+	if req.GlobalServers < 0 || req.LocalServers < 0 || req.ClosServers < 0 {
+		return nil, fmt.Errorf("ctrl: negative server request %+v", req)
+	}
+	podSize := k * k / 4
+	podsFor := func(servers int) int {
+		return (servers + podSize - 1) / podSize
+	}
+	g := podsFor(req.GlobalServers)
+	l := podsFor(req.LocalServers)
+	c := podsFor(req.ClosServers)
+	if g+l+c > k {
+		return nil, fmt.Errorf("ctrl: request needs %d pods (%d global + %d local + %d clos), have %d",
+			g+l+c, g, l, c, k)
+	}
+	modes := make([]core.Mode, k)
+	p := 0
+	for i := 0; i < g; i++ {
+		modes[p] = core.ModeGlobalRandom
+		p++
+	}
+	for i := 0; i < l; i++ {
+		modes[p] = core.ModeLocalRandom
+		p++
+	}
+	for ; p < k; p++ {
+		modes[p] = core.ModeClos
+	}
+	return modes, nil
+}
+
+// ZoneOf reports which zone a server's home pod belongs to under a mode
+// assignment, for placement software steering workloads into the right
+// zone.
+func ZoneOf(ft *core.FlatTree, server int) (core.Mode, error) {
+	nw := ft.Net()
+	if server < 0 || server >= nw.N() {
+		return 0, fmt.Errorf("ctrl: node %d out of range", server)
+	}
+	pod := nw.Nodes[server].Pod
+	if pod < 0 || pod >= ft.Params.K {
+		return 0, fmt.Errorf("ctrl: node %d has no home pod", server)
+	}
+	return ft.Mode(pod), nil
+}

@@ -1,0 +1,119 @@
+package ctrl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flattree/internal/core"
+)
+
+func TestPlanZoneModesBasic(t *testing.T) {
+	// k=8: pods hold 16 servers.
+	modes, err := PlanZoneModes(8, ZoneRequest{GlobalServers: 40, LocalServers: 17, ClosServers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 -> 3 pods, 17 -> 2 pods, 16 -> 1 pod, 2 leftover Clos.
+	want := []core.Mode{
+		core.ModeGlobalRandom, core.ModeGlobalRandom, core.ModeGlobalRandom,
+		core.ModeLocalRandom, core.ModeLocalRandom,
+		core.ModeClos, core.ModeClos, core.ModeClos,
+	}
+	for i, m := range want {
+		if modes[i] != m {
+			t.Fatalf("pod %d = %s, want %s (modes %v)", i, modes[i], m, modes)
+		}
+	}
+}
+
+func TestPlanZoneModesErrors(t *testing.T) {
+	if _, err := PlanZoneModes(7, ZoneRequest{}); err == nil {
+		t.Error("odd k accepted")
+	}
+	if _, err := PlanZoneModes(8, ZoneRequest{GlobalServers: -1}); err == nil {
+		t.Error("negative request accepted")
+	}
+	if _, err := PlanZoneModes(4, ZoneRequest{GlobalServers: 100}); err == nil {
+		t.Error("oversized request accepted")
+	}
+}
+
+// TestPlanZoneModesProperties: for any feasible request, the plan is
+// feasible for SetModes, the global zone is one contiguous run, and zone
+// capacities cover the requests.
+func TestPlanZoneModesProperties(t *testing.T) {
+	const k = 8
+	ft, err := core.Build(core.Params{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	podSize := k * k / 4
+	err = quick.Check(func(gRaw, lRaw, cRaw uint16) bool {
+		req := ZoneRequest{
+			GlobalServers: int(gRaw) % (3 * podSize),
+			LocalServers:  int(lRaw) % (3 * podSize),
+			ClosServers:   int(cRaw) % (2 * podSize),
+		}
+		modes, err := PlanZoneModes(k, req)
+		if err != nil {
+			return false
+		}
+		counts := map[core.Mode]int{}
+		lastGlobal := -1
+		firstNonGlobal := -1
+		for p, m := range modes {
+			counts[m]++
+			if m == core.ModeGlobalRandom {
+				lastGlobal = p
+			} else if firstNonGlobal < 0 {
+				firstNonGlobal = p
+			}
+		}
+		// Contiguity: all global pods precede all non-global pods.
+		if lastGlobal >= 0 && firstNonGlobal >= 0 && lastGlobal > firstNonGlobal {
+			return false
+		}
+		if counts[core.ModeGlobalRandom]*podSize < req.GlobalServers ||
+			counts[core.ModeLocalRandom]*podSize < req.LocalServers {
+			return false
+		}
+		if err := ft.SetModes(modes); err != nil {
+			return false
+		}
+		return ft.Net().Validate() == nil
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestZoneOf: placement software sees the right zone per server.
+func TestZoneOf(t *testing.T) {
+	ft, err := core.Build(core.Params{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes, err := PlanZoneModes(4, ZoneRequest{GlobalServers: 4, LocalServers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.SetModes(modes); err != nil {
+		t.Fatal(err)
+	}
+	nw := ft.Net()
+	for _, sv := range nw.Servers() {
+		zone, err := ZoneOf(ft, sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := modes[nw.Nodes[sv].Pod]; zone != want {
+			t.Fatalf("server %d: zone %s, want %s", sv, zone, want)
+		}
+	}
+	if _, err := ZoneOf(ft, -1); err == nil {
+		t.Error("bad node accepted")
+	}
+	if _, err := ZoneOf(ft, ft.Cores[0]); err == nil {
+		t.Error("core switch (no pod) accepted")
+	}
+}

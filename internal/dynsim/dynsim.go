@@ -1,0 +1,371 @@
+// Package dynsim is an event-driven fluid (flow-level) network simulator:
+// flows arrive over time, each is pinned to a path chosen from a
+// routing.Scheme's candidates, active flows share switch-switch links by
+// progressive-filling max-min fairness, and the simulator advances from
+// event to event (arrival or completion), re-solving rates at each one.
+//
+// It complements the static LP throughput of internal/mcf with the dynamic
+// metric operators actually watch — flow completion time — and gives the
+// §2.6 controller's "adaptive manner through network measurement" something
+// concrete to measure: the adaptive example converts the topology when the
+// measured FCT of the current mode falls behind.
+package dynsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flattree/internal/graph"
+	"flattree/internal/routing"
+	"flattree/internal/topo"
+)
+
+// Arrival is one flow entering the system.
+type Arrival struct {
+	Time     float64
+	Src, Dst int // server node IDs
+	Size     float64
+}
+
+// FlowRecord is a completed flow.
+type FlowRecord struct {
+	Arrival
+	Finish float64
+}
+
+// FCT returns the flow completion time.
+func (f FlowRecord) FCT() float64 { return f.Finish - f.Time }
+
+// Result summarizes a simulation run.
+type Result struct {
+	Completed []FlowRecord
+	// MeanFCT, P99FCT summarize completion times.
+	MeanFCT, P99FCT float64
+	// Events is the number of simulation events processed.
+	Events int
+	// Unfinished counts flows still active when the arrival list was
+	// exhausted and the drain limit hit.
+	Unfinished int
+}
+
+type activeFlow struct {
+	id        int
+	remaining float64
+	links     []int32
+	rate      float64
+	arr       Arrival
+}
+
+// Simulate runs the fluid simulation of the given arrivals (they will be
+// processed in time order) on the network under the routing scheme. Each
+// flow is routed on the least-loaded (by active flow count) of its
+// candidate paths at arrival — the practical KSP load-balancing §2.6
+// implies. Switch-switch links have unit capacity; flows between servers on
+// the same switch complete at infinite rate (uncapacitated access links,
+// matching the rest of the repository).
+//
+// maxConcurrent bounds the number of simultaneously active flows as a
+// safety valve against overload workloads that would never drain (0 means
+// 4096); when it is hit, the simulation returns an error, which is a
+// finding about the offered load rather than a simulator limit.
+func Simulate(nw *topo.Network, scheme routing.Scheme, arrivals []Arrival, maxConcurrent int) (Result, error) {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 4096
+	}
+	sorted := append([]Arrival(nil), arrivals...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	// Link index over switch-switch links (parallel links pool capacity).
+	type pair struct{ a, b int32 }
+	linkIdx := make(map[pair]int32)
+	var capacity []float64
+	for _, l := range nw.Links {
+		if !nw.Nodes[l.A].Kind.IsSwitch() || !nw.Nodes[l.B].Kind.IsSwitch() {
+			continue
+		}
+		a, b := int32(l.A), int32(l.B)
+		if a > b {
+			a, b = b, a
+		}
+		if li, ok := linkIdx[pair{a, b}]; ok {
+			capacity[li]++
+			continue
+		}
+		linkIdx[pair{a, b}] = int32(len(capacity))
+		capacity = append(capacity, 1)
+	}
+	activeOnLink := make([]int, len(capacity))
+
+	hostOf := func(v int) (int, error) {
+		if v < 0 || v >= nw.N() {
+			return 0, fmt.Errorf("dynsim: node %d out of range", v)
+		}
+		if nw.Nodes[v].Kind.IsSwitch() {
+			return v, nil
+		}
+		h := nw.HostSwitch(v)
+		if h < 0 {
+			return 0, fmt.Errorf("dynsim: server %d detached", v)
+		}
+		return h, nil
+	}
+
+	pathCache := make(map[pair][][]int32)
+	pathsFor := func(s, d int) ([][]int32, error) {
+		key := pair{int32(s), int32(d)}
+		if ps, ok := pathCache[key]; ok {
+			return ps, nil
+		}
+		cand, err := scheme.Paths(s, d)
+		if err != nil {
+			return nil, err
+		}
+		var out [][]int32
+		for _, p := range cand {
+			var links []int32
+			ok := true
+			for i := 0; i+1 < len(p.Nodes); i++ {
+				a, b := p.Nodes[i], p.Nodes[i+1]
+				if a > b {
+					a, b = b, a
+				}
+				li, found := linkIdx[pair{a, b}]
+				if !found {
+					ok = false
+					break
+				}
+				links = append(links, li)
+			}
+			if ok {
+				out = append(out, links)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("dynsim: no usable path %d->%d", s, d)
+		}
+		pathCache[key] = out
+		return out, nil
+	}
+
+	var (
+		active []*activeFlow
+		res    Result
+		now    float64
+		nextID int
+	)
+
+	// recompute assigns max-min fair rates to all active flows.
+	recompute := func() {
+		for i := range activeOnLink {
+			activeOnLink[i] = 0
+		}
+		for _, f := range active {
+			f.rate = 0
+			for _, li := range f.links {
+				activeOnLink[li]++
+			}
+		}
+		used := make([]float64, len(capacity))
+		unfrozen := append([]int(nil), activeOnLink...)
+		frozen := make(map[int]bool, len(active))
+		level := 0.0
+		for len(frozen) < len(active) {
+			best := math.Inf(1)
+			for li := range capacity {
+				if unfrozen[li] == 0 {
+					continue
+				}
+				if inc := (capacity[li] - used[li]) / float64(unfrozen[li]); inc < best {
+					best = inc
+				}
+			}
+			if math.IsInf(best, 1) {
+				// Remaining flows traverse no capacitated link.
+				for _, f := range active {
+					if !frozen[f.id] {
+						f.rate = math.Inf(1)
+						frozen[f.id] = true
+					}
+				}
+				break
+			}
+			level += best
+			for li := range capacity {
+				used[li] += best * float64(unfrozen[li])
+			}
+			for _, f := range active {
+				if frozen[f.id] {
+					continue
+				}
+				for _, li := range f.links {
+					if capacity[li]-used[li] <= 1e-12 {
+						f.rate = level
+						frozen[f.id] = true
+						for _, l2 := range f.links {
+							unfrozen[l2]--
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// advance progresses active flows to time t and completes any that
+	// finish exactly at t.
+	advance := func(t float64) {
+		dt := t - now
+		for _, f := range active {
+			if math.IsInf(f.rate, 1) {
+				f.remaining = 0
+			} else if dt > 0 {
+				f.remaining -= f.rate * dt
+			}
+		}
+		now = t
+		w := 0
+		for _, f := range active {
+			if f.remaining <= 1e-9 {
+				res.Completed = append(res.Completed, FlowRecord{Arrival: f.arr, Finish: now})
+				continue
+			}
+			active[w] = f
+			w++
+		}
+		active = active[:w]
+	}
+
+	nextCompletion := func() float64 {
+		t := math.Inf(1)
+		for _, f := range active {
+			if math.IsInf(f.rate, 1) {
+				return now
+			}
+			if f.rate > 0 {
+				if c := now + f.remaining/f.rate; c < t {
+					t = c
+				}
+			}
+		}
+		return t
+	}
+
+	ai := 0
+	for ai < len(sorted) || len(active) > 0 {
+		res.Events++
+		if res.Events > 200*len(sorted)+1000 {
+			res.Unfinished = len(active)
+			return res, fmt.Errorf("dynsim: event budget exhausted with %d flows active (offered load exceeds capacity?)", len(active))
+		}
+		tc := nextCompletion()
+		if ai < len(sorted) && sorted[ai].Time <= tc {
+			arr := sorted[ai]
+			ai++
+			advance(math.Max(arr.Time, now))
+			s, err := hostOf(arr.Src)
+			if err != nil {
+				return res, err
+			}
+			d, err := hostOf(arr.Dst)
+			if err != nil {
+				return res, err
+			}
+			if s == d {
+				// Same-switch flow: completes instantly at fluid scale.
+				res.Completed = append(res.Completed, FlowRecord{Arrival: arr, Finish: now})
+				continue
+			}
+			paths, err := pathsFor(s, d)
+			if err != nil {
+				return res, err
+			}
+			// Least-loaded candidate by current active flow count.
+			bestPath, bestLoad := 0, math.Inf(1)
+			for pi, links := range paths {
+				load := 0.0
+				for _, li := range links {
+					load += float64(activeOnLink[li])
+				}
+				load /= float64(len(links))
+				if load < bestLoad {
+					bestLoad, bestPath = load, pi
+				}
+			}
+			if len(active) >= maxConcurrent {
+				res.Unfinished = len(active)
+				return res, fmt.Errorf("dynsim: %d concurrent flows exceeds limit %d", len(active)+1, maxConcurrent)
+			}
+			active = append(active, &activeFlow{
+				id: nextID, remaining: arr.Size, links: paths[bestPath], arr: arr,
+			})
+			nextID++
+			recompute()
+			continue
+		}
+		if math.IsInf(tc, 1) {
+			break
+		}
+		advance(tc)
+		recompute()
+	}
+
+	finalize(&res)
+	return res, nil
+}
+
+func finalize(res *Result) {
+	if len(res.Completed) == 0 {
+		return
+	}
+	fcts := make([]float64, len(res.Completed))
+	sum := 0.0
+	for i, f := range res.Completed {
+		fcts[i] = f.FCT()
+		sum += fcts[i]
+	}
+	sort.Float64s(fcts)
+	res.MeanFCT = sum / float64(len(fcts))
+	res.P99FCT = fcts[int(0.99*float64(len(fcts)-1))]
+}
+
+// PoissonHotspot generates count flows from a hot-spot server to uniformly
+// random peers in the given server set, with exponential inter-arrivals at
+// the given rate and fixed size.
+func PoissonHotspot(servers []int, hotspot int, rate, size float64, count int, rng *graph.RNG) []Arrival {
+	arr := make([]Arrival, 0, count)
+	t := 0.0
+	for i := 0; i < count; i++ {
+		t += expInterval(rate, rng)
+		dst := servers[rng.Intn(len(servers))]
+		for dst == hotspot {
+			dst = servers[rng.Intn(len(servers))]
+		}
+		arr = append(arr, Arrival{Time: t, Src: hotspot, Dst: dst, Size: size})
+	}
+	return arr
+}
+
+// PoissonPairs generates count flows between uniformly random server pairs.
+func PoissonPairs(servers []int, rate, size float64, count int, rng *graph.RNG) []Arrival {
+	arr := make([]Arrival, 0, count)
+	t := 0.0
+	for i := 0; i < count; i++ {
+		t += expInterval(rate, rng)
+		s := servers[rng.Intn(len(servers))]
+		d := servers[rng.Intn(len(servers))]
+		for d == s {
+			d = servers[rng.Intn(len(servers))]
+		}
+		arr = append(arr, Arrival{Time: t, Src: s, Dst: d, Size: size})
+	}
+	return arr
+}
+
+func expInterval(rate float64, rng *graph.RNG) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -math.Log(u) / rate
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestFaultsDriver(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Trials = 2
+	tab, err := Faults(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Zero-failure row: all topologies fully connected, APLs match the
+	// known figure-5/6 ballpark.
+	base := tab.Rows[0]
+	for _, col := range []int{1, 3, 5} {
+		if base[col] != "1.000" {
+			t.Errorf("zero-failure connectivity = %q", base[col])
+		}
+	}
+	// APL must be monotone non-decreasing in the failure fraction for
+	// every topology (connectivity held at these fractions).
+	for _, col := range []int{2, 4, 6} {
+		prev := 0.0
+		for i, row := range tab.Rows {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("row %d col %d = %q", i, col, row[col])
+			}
+			if v < prev-1e-9 {
+				t.Errorf("col %d: APL decreased under more failures: %g -> %g", col, prev, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestLatencyDriver(t *testing.T) {
+	tab, err := Latency(smallCfg(), 6, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d: %v", len(tab.Rows), tab.Rows)
+	}
+	get := func(row, col int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("cell (%d,%d) = %q", row, col, tab.Rows[row][col])
+		}
+		return v
+	}
+	// Row 0 fat-tree, row 3 flat-tree/global-random: the random-graph
+	// mode must see fewer hops and lower latency at light load.
+	if get(3, 5) >= get(0, 5) {
+		t.Errorf("global-random hops %g not below fat-tree %g", get(3, 5), get(0, 5))
+	}
+	if get(3, 3) >= get(0, 3) {
+		t.Errorf("global-random latency %g not below fat-tree %g", get(3, 3), get(0, 3))
+	}
+	// Flat-tree in Clos mode behaves like fat-tree.
+	if got, want := get(2, 5), get(0, 5); got != want {
+		t.Errorf("flat-tree/clos hops %g != fat-tree %g", got, want)
+	}
+	// No drops at light load.
+	for i := range tab.Rows {
+		if tab.Rows[i][2] != "0" {
+			t.Errorf("row %d dropped %s packets at light load", i, tab.Rows[i][2])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package experiments contains one driver per table/figure of the flat-tree
+// paper's evaluation (§3). Each driver regenerates the corresponding data
+// series — the same rows the paper plots — over configurable k sweeps, and
+// returns them as a Table that cmd/flatsim prints and the root benchmarks
+// execute. EXPERIMENTS.md records measured-vs-paper shapes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"flattree/internal/core"
+	"flattree/internal/fattree"
+	"flattree/internal/jellyfish"
+	"flattree/internal/topo"
+	"flattree/internal/twostage"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// KMin/KMax/KStep define the fat-tree parameter sweep (paper: 4..32
+	// step 2).
+	KMin, KMax, KStep int
+	// Seed drives every randomized construction and placement.
+	Seed uint64
+	// Epsilon is the MCF approximation accuracy (throughput experiments).
+	Epsilon float64
+	// HybridK is the network size for the hybrid-mode experiment
+	// (paper: 30).
+	HybridK int
+	// Trials averages randomized experiments (throughput placements,
+	// failure injection) over this many seeds; 0 or 1 means a single run.
+	Trials int
+}
+
+// DefaultConfig mirrors the paper's sweep at a scale suitable for a laptop
+// run; cmd/flatsim flags raise it to the paper's full k=32.
+func DefaultConfig() Config {
+	return Config{KMin: 4, KMax: 16, KStep: 2, Seed: 1, Epsilon: 0.1, HybridK: 10}
+}
+
+// Ks expands the sweep.
+func (c Config) Ks() []int {
+	var ks []int
+	step := c.KStep
+	if step <= 0 {
+		step = 2
+	}
+	for k := c.KMin; k <= c.KMax; k += step {
+		if k >= 4 && k%2 == 0 {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTSV writes the table as tab-separated values with a title line.
+func (t *Table) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n%s\n", t.Title, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table with aligned columns for terminals.
+func (t *Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// buildFlatTree constructs a flat-tree(k) with the paper's default (m, n)
+// in the given uniform mode.
+func buildFlatTree(k int, mode core.Mode) (*core.FlatTree, error) {
+	ft, err := core.Build(core.Params{K: k})
+	if err != nil {
+		return nil, err
+	}
+	if err := ft.SetUniformMode(mode); err != nil {
+		return nil, err
+	}
+	return ft, nil
+}
+
+// suite bundles the four comparable topologies for one k.
+type suite struct {
+	k        int
+	fat      *fattree.FatTree
+	rg       *jellyfish.Jellyfish
+	flat     *core.FlatTree // caller sets mode
+	twoStage *twostage.TwoStage
+}
+
+func buildSuite(k int, seed uint64, mode core.Mode, withTwoStage bool) (*suite, error) {
+	s := &suite{k: k}
+	var err error
+	if s.fat, err = fattree.New(k); err != nil {
+		return nil, err
+	}
+	if s.rg, err = jellyfish.New(k, seed); err != nil {
+		return nil, err
+	}
+	if s.flat, err = buildFlatTree(k, mode); err != nil {
+		return nil, err
+	}
+	if withTwoStage {
+		_, n := core.DefaultMN(k)
+		if s.twoStage, err = twostage.New(k, n, seed); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// serverIDsOf returns a topology's servers in index order.
+func serverIDsOf(nw *topo.Network) []int { return nw.Servers() }

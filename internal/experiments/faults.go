@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"flattree/internal/core"
+	"flattree/internal/faults"
+	"flattree/internal/topo"
+)
+
+// Faults measures robustness under random link failures (motivated by §5's
+// "self-recovery of the topology from failures"): for growing failure
+// fractions, the surviving-connectivity fraction and average path length of
+// fat-tree, flat-tree in global-random mode, and the random graph, each
+// built from the same equipment. Results are averaged over Trials seeds.
+func Faults(cfg Config, k int) (*Table, error) {
+	if k == 0 {
+		k = 8
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 3
+	}
+	s, err := buildSuite(k, cfg.Seed, core.ModeGlobalRandom, false)
+	if err != nil {
+		return nil, err
+	}
+	targets := []*topo.Network{s.fat.Net, s.flat.Net(), s.rg.Net}
+
+	t := &Table{
+		Title: fmt.Sprintf("link-failure robustness at k=%d (avg over %d trials)", k, trials),
+		Header: []string{"fail-frac",
+			"fat-tree/conn", "fat-tree/apl",
+			"flat-tree/conn", "flat-tree/apl",
+			"random-graph/conn", "random-graph/apl"},
+	}
+	for _, frac := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+		row := []string{fmt.Sprintf("%.2f", frac)}
+		for _, nw := range targets {
+			var conn, apl float64
+			for tr := 0; tr < trials; tr++ {
+				d, err := faults.Degrade(nw, faults.Scenario{
+					LinkFraction: frac, Seed: cfg.Seed + uint64(tr)*7919,
+				})
+				if err != nil {
+					return nil, err
+				}
+				rep, err := faults.Analyze(d)
+				if err != nil {
+					return nil, err
+				}
+				conn += rep.LargestComponentFrac
+				apl += rep.APL
+			}
+			conn /= float64(trials)
+			apl /= float64(trials)
+			if math.IsNaN(apl) || apl == 0 {
+				row = append(row, f3(conn), "-")
+			} else {
+				row = append(row, f3(conn), f3(apl))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

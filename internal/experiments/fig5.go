@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flattree/internal/core"
+	"flattree/internal/fattree"
+	"flattree/internal/jellyfish"
+	"flattree/internal/metrics"
+)
+
+// MNSetting is one (m, n) converter-count choice, expressed in eighths of k
+// as the paper's Figure 5 legend does (m = Mk8·k/8, n = Nk8·k/8, rounded).
+type MNSetting struct {
+	Mk8, Nk8 int
+}
+
+// Label renders the legend label, e.g. "flat-tree(m=k/8,n=2k/8)".
+func (s MNSetting) Label() string {
+	frac := func(x int) string {
+		if x == 1 {
+			return "k/8"
+		}
+		return fmt.Sprintf("%dk/8", x)
+	}
+	return fmt.Sprintf("flat-tree(m=%s,n=%s)", frac(s.Mk8), frac(s.Nk8))
+}
+
+// Resolve returns the concrete (m, n) for a given k (rounded to nearest,
+// like core.DefaultMN).
+func (s MNSetting) Resolve(k int) (m, n int) {
+	round := func(num, den int) int { return (2*num + den) / (2 * den) }
+	return round(s.Mk8*k, 8), round(s.Nk8*k, 8)
+}
+
+// Fig5Settings are the five (m, n) combinations in Figure 5's legend.
+var Fig5Settings = []MNSetting{
+	{1, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 2},
+}
+
+// Fig5 regenerates Figure 5: network-wide average path length of server
+// pairs versus k, for fat-tree, random graph, and flat-tree in
+// global-random mode under each (m, n) setting.
+func Fig5(cfg Config) (*Table, error) {
+	t := &Table{
+		Title:  "Figure 5: average path length of server pairs in the entire network",
+		Header: []string{"k", "fat-tree", "random-graph"},
+	}
+	for _, s := range Fig5Settings {
+		t.Header = append(t.Header, s.Label())
+	}
+	for _, k := range cfg.Ks() {
+		fat, err := fattree.New(k)
+		if err != nil {
+			return nil, err
+		}
+		aplFat, err := metrics.AveragePathLength(fat.Net)
+		if err != nil {
+			return nil, err
+		}
+		rg, err := jellyfish.New(k, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		aplRG, err := metrics.AveragePathLength(rg.Net)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprint(k), f3(aplFat), f3(aplRG)}
+		for _, s := range Fig5Settings {
+			m, n := s.Resolve(k)
+			if m+n > k/2 {
+				row = append(row, "-") // infeasible for this k
+				continue
+			}
+			ft, err := core.Build(core.Params{K: k, M: m, N: n})
+			if err != nil {
+				return nil, err
+			}
+			if err := ft.SetUniformMode(core.ModeGlobalRandom); err != nil {
+				return nil, err
+			}
+			apl, err := metrics.AveragePathLength(ft.Net())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(apl))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ProfileResult is the outcome of the §2.4 profiling procedure for one k.
+type ProfileResult struct {
+	K          int
+	BestM      int
+	BestN      int
+	BestAPL    float64
+	DefaultAPL float64 // APL at the paper's default (m, n) = (k/8, 2k/8)
+}
+
+// Profile runs the §2.4 profiling scheme: sweep (m, n) at k/8 granularity
+// under the preferred wiring pattern and report the argmin average path
+// length. The paper finds (k/8, 2k/8).
+func Profile(k int) (*Table, ProfileResult, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Profiling m,n for k=%d (§2.4): APL per setting", k),
+		Header: []string{"m", "n", "apl"},
+	}
+	res := ProfileResult{K: k, BestAPL: -1}
+	round := func(num, den int) int { return (2*num + den) / (2 * den) }
+	dm, dn := core.DefaultMN(k)
+	for mi := 1; mi <= 4; mi++ {
+		for ni := 1; ni <= 4; ni++ {
+			m, n := round(mi*k, 8), round(ni*k, 8)
+			if m+n > k/2 || m < 1 || n < 1 {
+				continue
+			}
+			ft, err := core.Build(core.Params{K: k, M: m, N: n})
+			if err != nil {
+				return nil, res, err
+			}
+			if err := ft.SetUniformMode(core.ModeGlobalRandom); err != nil {
+				return nil, res, err
+			}
+			apl, err := metrics.AveragePathLength(ft.Net())
+			if err != nil {
+				return nil, res, err
+			}
+			t.AddRow(fmt.Sprint(m), fmt.Sprint(n), f3(apl))
+			if res.BestAPL < 0 || apl < res.BestAPL {
+				res.BestM, res.BestN, res.BestAPL = m, n, apl
+			}
+			if m == dm && n == dn {
+				res.DefaultAPL = apl
+			}
+		}
+	}
+	return t, res, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flattree/internal/core"
+	"flattree/internal/metrics"
+)
+
+// Fig6 regenerates Figure 6: average path length of server pairs within the
+// same pod, comparing flat-tree in local-random mode against fat-tree,
+// the global random graph, and the two-stage random graph.
+func Fig6(cfg Config) (*Table, error) {
+	t := &Table{
+		Title:  "Figure 6: average path length of server pairs in each pod",
+		Header: []string{"k", "flat-tree", "fat-tree", "random-graph", "two-stage-rg"},
+	}
+	for _, k := range cfg.Ks() {
+		s, err := buildSuite(k, cfg.Seed, core.ModeLocalRandom, true)
+		if err != nil {
+			return nil, err
+		}
+		aplFlat, err := metrics.IntraPodAveragePathLength(s.flat.Net())
+		if err != nil {
+			return nil, err
+		}
+		aplFat, err := metrics.IntraPodAveragePathLength(s.fat.Net)
+		if err != nil {
+			return nil, err
+		}
+		aplRG, err := metrics.IntraPodAveragePathLength(s.rg.Net)
+		if err != nil {
+			return nil, err
+		}
+		aplTS, err := metrics.IntraPodAveragePathLength(s.twoStage.Net)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(k), f3(aplFlat), f3(aplFat), f3(aplRG), f3(aplTS))
+	}
+	return t, nil
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flattree/internal/core"
+	"flattree/internal/mcf"
+	"flattree/internal/topo"
+	"flattree/internal/traffic"
+)
+
+// throughput runs the paper's throughput methodology on one topology: build
+// clusters under the placement policy, emit the pattern's commodities, and
+// solve maximum concurrent flow.
+func throughput(nw *topo.Network, serverIDs []int, clusterSize int, placement traffic.Placement,
+	pattern func([]traffic.Cluster) []mcf.Commodity, seed uint64, epsilon float64) (mcf.Result, error) {
+	clusters, err := traffic.MakeClusters(nw, serverIDs, traffic.Spec{
+		ClusterSize: clusterSize,
+		Placement:   placement,
+		Seed:        seed,
+	})
+	if err != nil {
+		return mcf.Result{}, err
+	}
+	return mcf.MaxConcurrentFlow(nw, pattern(clusters), mcf.Options{Epsilon: epsilon})
+}
+
+// throughputAvg averages the throughput over cfg.Trials placement seeds
+// (randomized hot-spot choice and random placements make single runs
+// noisy; the paper plots smooth curves).
+func throughputAvg(cfg Config, nw *topo.Network, serverIDs []int, clusterSize int,
+	placement traffic.Placement, pattern func([]traffic.Cluster) []mcf.Commodity) (float64, error) {
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		res, err := throughput(nw, serverIDs, clusterSize, placement, pattern,
+			cfg.Seed+uint64(tr)*7919, cfg.Epsilon)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.Lambda
+	}
+	return sum / float64(trials), nil
+}
+
+// BroadcastClusterSize is the paper's hot-spot cluster size (§3.3).
+const BroadcastClusterSize = 1000
+
+// AllToAllClusterSize is the paper's all-to-all cluster size (§3.3).
+const AllToAllClusterSize = 20
+
+// broadcastPattern and allToAllPattern bind the nominal cluster sizes into
+// the commodity generators so all throughput numbers share the paper's
+// demand scale.
+func broadcastPattern(cl []traffic.Cluster) []mcf.Commodity {
+	return traffic.BroadcastCommodities(cl, BroadcastClusterSize)
+}
+
+func allToAllPattern(cl []traffic.Cluster) []mcf.Commodity {
+	return traffic.AllToAllCommodities(cl, AllToAllClusterSize)
+}
+
+// Fig7 regenerates Figure 7: throughput of broadcast/incast traffic in
+// 1000-server clusters for fat-tree, flat-tree (global-random mode), and
+// random graph, each with strong locality and no locality.
+func Fig7(cfg Config) (*Table, error) {
+	t := &Table{
+		Title: "Figure 7: throughput of broadcast/incast traffic in 1000-server clusters",
+		Header: []string{"k",
+			"fat-tree/loc", "fat-tree/noloc",
+			"flat-tree/loc", "flat-tree/noloc",
+			"random-graph/loc", "random-graph/noloc"},
+	}
+	for _, k := range cfg.Ks() {
+		s, err := buildSuite(k, cfg.Seed, core.ModeGlobalRandom, false)
+		if err != nil {
+			return nil, err
+		}
+		nets := []*topo.Network{s.fat.Net, s.flat.Net(), s.rg.Net}
+		row := []string{fmt.Sprint(k)}
+		cells := make([]string, 6)
+		for ni, nw := range nets {
+			for pi, placement := range []traffic.Placement{traffic.Locality, traffic.NoLocality} {
+				lambda, err := throughputAvg(cfg, nw, serverIDsOf(nw), BroadcastClusterSize,
+					placement, broadcastPattern)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 k=%d net=%d: %w", k, ni, err)
+				}
+				cells[ni*2+pi] = f4(lambda)
+			}
+		}
+		t.AddRow(append(row, cells...)...)
+	}
+	return t, nil
+}
+
+// Fig8 regenerates Figure 8: throughput of all-to-all traffic in 20-server
+// clusters for fat-tree, flat-tree (local-random mode), two-stage random
+// graph, and random graph, each with strong and weak locality.
+func Fig8(cfg Config) (*Table, error) {
+	t := &Table{
+		Title: "Figure 8: throughput of all-to-all traffic in 20-server clusters",
+		Header: []string{"k",
+			"fat-tree/loc", "fat-tree/weak",
+			"flat-tree/loc", "flat-tree/weak",
+			"two-stage-rg/loc", "two-stage-rg/weak",
+			"random-graph/loc", "random-graph/weak"},
+	}
+	for _, k := range cfg.Ks() {
+		s, err := buildSuite(k, cfg.Seed, core.ModeLocalRandom, true)
+		if err != nil {
+			return nil, err
+		}
+		nets := []*topo.Network{s.fat.Net, s.flat.Net(), s.twoStage.Net, s.rg.Net}
+		cells := make([]string, 8)
+		for ni, nw := range nets {
+			for pi, placement := range []traffic.Placement{traffic.Locality, traffic.WeakLocality} {
+				lambda, err := throughputAvg(cfg, nw, serverIDsOf(nw), AllToAllClusterSize,
+					placement, allToAllPattern)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 k=%d net=%d: %w", k, ni, err)
+				}
+				cells[ni*2+pi] = f4(lambda)
+			}
+		}
+		t.AddRow(append([]string{fmt.Sprint(k)}, cells...)...)
+	}
+	return t, nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flattree/internal/core"
+	"flattree/internal/mcf"
+	"flattree/internal/traffic"
+)
+
+// HybridRow is one measurement of the §3.4 hybrid-mode experiment.
+type HybridRow struct {
+	GlobalPods, LocalPods int
+	// LambdaGlobal/LambdaLocal: each zone's standalone max concurrent flow
+	// on the hybrid network.
+	LambdaGlobal, LambdaLocal float64
+	// RefGlobal/RefLocal: the corresponding complete networks' throughput
+	// (all pods in that mode, full-network workload) — the paper's
+	// comparison target.
+	RefGlobal, RefLocal float64
+	// Interference: joint concurrent flow with both zones' demands
+	// pre-scaled by their standalone λ. 1.0 means the zones share the
+	// core without hurting each other — the paper's headline claim.
+	Interference float64
+}
+
+// Hybrid regenerates the §3.4 experiment: a flat-tree with two zones —
+// approximated global random graph in one, per-pod local random graphs in
+// the other — at proportions 10%..90%. Each zone receives the same traffic
+// pattern as the corresponding complete network: broadcast/incast in
+// 1000-server clusters (global zone), all-to-all in 20-server clusters
+// (local zone), both placed with locality inside their zone.
+func Hybrid(cfg Config) (*Table, []HybridRow, error) {
+	k := cfg.HybridK
+	if k == 0 {
+		k = 10
+	}
+	ft, err := core.Build(core.Params{K: k})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Reference: complete networks.
+	refGlobal, err := completeRef(ft, core.ModeGlobalRandom, BroadcastClusterSize, broadcastPattern, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	refLocal, err := completeRef(ft, core.ModeLocalRandom, AllToAllClusterSize, allToAllPattern, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("§3.4 hybrid flat-tree (k=%d): per-zone throughput vs complete networks", k),
+		Header: []string{"global-pods", "local-pods",
+			"zoneG", "zoneG/refG", "zoneL", "zoneL/refL", "interference"},
+	}
+	var rows []HybridRow
+	for tenths := 1; tenths <= 9; tenths++ {
+		zg := (k*tenths + 5) / 10
+		if zg < 1 || zg > k-1 {
+			continue
+		}
+		modes := make([]core.Mode, k)
+		for p := 0; p < k; p++ {
+			if p < zg {
+				modes[p] = core.ModeGlobalRandom
+			} else {
+				modes[p] = core.ModeLocalRandom
+			}
+		}
+		if err := ft.SetModes(modes); err != nil {
+			return nil, nil, err
+		}
+		nw := ft.Net()
+
+		// Zone server sets (servers keep home-pod labels).
+		var globalServers, localServers []int
+		for _, sv := range nw.Servers() {
+			if nw.Nodes[sv].Pod < zg {
+				globalServers = append(globalServers, sv)
+			} else {
+				localServers = append(localServers, sv)
+			}
+		}
+		gcl, err := traffic.MakeClusters(nw, globalServers, traffic.Spec{
+			ClusterSize: BroadcastClusterSize, Placement: traffic.Locality, Seed: cfg.Seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		lcl, err := traffic.MakeClusters(nw, localServers, traffic.Spec{
+			ClusterSize: AllToAllClusterSize, Placement: traffic.Locality, Seed: cfg.Seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		gComms := broadcastPattern(gcl)
+		lComms := allToAllPattern(lcl)
+
+		resG, err := mcf.MaxConcurrentFlow(nw, gComms, mcf.Options{Epsilon: cfg.Epsilon})
+		if err != nil {
+			return nil, nil, err
+		}
+		resL, err := mcf.MaxConcurrentFlow(nw, lComms, mcf.Options{Epsilon: cfg.Epsilon})
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// Joint solve with each zone's demands scaled to its standalone
+		// achievable rates (demand × standalone λ): an interference factor
+		// of 1 then means both zones sustain their standalone throughput
+		// simultaneously.
+		var joint []mcf.Commodity
+		for _, c := range gComms {
+			joint = append(joint, mcf.Commodity{Src: c.Src, Dst: c.Dst, Demand: c.Demand * resG.Lambda})
+		}
+		for _, c := range lComms {
+			joint = append(joint, mcf.Commodity{Src: c.Src, Dst: c.Dst, Demand: c.Demand * resL.Lambda})
+		}
+		resJ, err := mcf.MaxConcurrentFlow(nw, joint, mcf.Options{Epsilon: cfg.Epsilon})
+		if err != nil {
+			return nil, nil, err
+		}
+
+		row := HybridRow{
+			GlobalPods: zg, LocalPods: k - zg,
+			LambdaGlobal: resG.Lambda, LambdaLocal: resL.Lambda,
+			RefGlobal: refGlobal, RefLocal: refLocal,
+			Interference: resJ.Lambda,
+		}
+		rows = append(rows, row)
+		t.AddRow(fmt.Sprint(zg), fmt.Sprint(k-zg),
+			f4(row.LambdaGlobal), f3(row.LambdaGlobal/refGlobal),
+			f4(row.LambdaLocal), f3(row.LambdaLocal/refLocal),
+			f3(row.Interference))
+	}
+	return t, rows, nil
+}
+
+// completeRef computes the throughput of the complete network in one mode
+// under the full-network version of a workload.
+func completeRef(ft *core.FlatTree, mode core.Mode, clusterSize int,
+	pattern func([]traffic.Cluster) []mcf.Commodity, cfg Config) (float64, error) {
+	if err := ft.SetUniformMode(mode); err != nil {
+		return 0, err
+	}
+	nw := ft.Net()
+	res, err := throughput(nw, serverIDsOf(nw), clusterSize, traffic.Locality, pattern, cfg.Seed, cfg.Epsilon)
+	if err != nil {
+		return 0, err
+	}
+	return res.Lambda, nil
+}

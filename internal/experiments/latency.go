@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flattree/internal/core"
+	"flattree/internal/graph"
+	"flattree/internal/pktsim"
+	"flattree/internal/routing"
+	"flattree/internal/topo"
+)
+
+// Latency runs the packet-level simulator over uniform random traffic on
+// fat-tree, flat-tree (each mode), and the random graph at one k, turning
+// the Figure-5 path-length differences into observable packet latency.
+// Load is the per-unit-time packet injection rate relative to the server
+// count (0 selects a light 0.1 pkt/server/unit).
+func Latency(cfg Config, k int, load float64) (*Table, error) {
+	if k == 0 {
+		k = 8
+	}
+	if load <= 0 {
+		load = 0.1
+	}
+	s, err := buildSuite(k, cfg.Seed, core.ModeClos, false)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("packet latency under uniform traffic, k=%d, load %.2f pkt/server/unit", k, load),
+		Header: []string{"topology", "delivered", "dropped",
+			"mean-latency", "p99-latency", "mean-hops", "utilization"},
+	}
+	type target struct {
+		name string
+		nw   *topo.Network
+	}
+	targets := []target{
+		{"fat-tree", s.fat.Net},
+		{"random-graph", s.rg.Net},
+	}
+	for _, mode := range []core.Mode{core.ModeClos, core.ModeGlobalRandom, core.ModeLocalRandom} {
+		if err := s.flat.SetUniformMode(mode); err != nil {
+			return nil, err
+		}
+		targets = append(targets, target{"flat-tree/" + mode.String(), s.flat.Net()})
+	}
+	for _, tg := range targets {
+		servers := tg.nw.Servers()
+		rate := load * float64(len(servers))
+		count := 40 * len(servers)
+		rng := graph.NewRNG(cfg.Seed)
+		pkts := pktsim.PoissonPackets(servers, rate, count, 8, rng)
+		res, err := pktsim.Simulate(tg.nw, routing.BuildTable(tg.nw), pkts, pktsim.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("latency %s: %w", tg.name, err)
+		}
+		t.AddRow(tg.name,
+			fmt.Sprint(res.Delivered), fmt.Sprint(res.Dropped),
+			f3(res.MeanLatency), f3(res.P99Latency), f3(res.MeanHops), f3(res.Utilization))
+	}
+	return t, nil
+}

@@ -1,0 +1,102 @@
+package fattree
+
+import (
+	"testing"
+
+	"flattree/internal/topo"
+)
+
+func TestCounts(t *testing.T) {
+	for _, k := range []int{4, 6, 8, 16} {
+		f, err := New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := f.Net.Stats()
+		if st.Servers != k*k*k/4 {
+			t.Errorf("k=%d: %d servers, want %d", k, st.Servers, k*k*k/4)
+		}
+		if st.CoreSwitches != k*k/4 {
+			t.Errorf("k=%d: %d cores, want %d", k, st.CoreSwitches, k*k/4)
+		}
+		if st.EdgeSwitches != k*k/2 || st.AggSwitches != k*k/2 {
+			t.Errorf("k=%d: edge/agg %d/%d, want %d", k, st.EdgeSwitches, st.AggSwitches, k*k/2)
+		}
+		if st.Links != 3*k*k*k/4 {
+			t.Errorf("k=%d: %d links, want %d", k, st.Links, 3*k*k*k/4)
+		}
+		if err := f.Net.Validate(); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestRejectsBadK(t *testing.T) {
+	for _, k := range []int{0, 2, 3, 5, 7} {
+		if _, err := New(k); err == nil {
+			t.Errorf("New(%d) should fail", k)
+		}
+	}
+}
+
+func TestPortSaturation(t *testing.T) {
+	f, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every switch uses all k ports, every server exactly 1.
+	for _, n := range f.Net.Nodes {
+		want := 8
+		if n.Kind == topo.Server {
+			want = 1
+		}
+		if got := f.Net.PortsUsed(n.ID); got != want {
+			t.Fatalf("node %d (%s) uses %d ports, want %d", n.ID, n.Kind, got, want)
+		}
+	}
+}
+
+func TestStructure(t *testing.T) {
+	k := 6
+	f, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agg i of every pod connects to core group [i*k/2, (i+1)*k/2).
+	adj := make(map[int]map[int]bool)
+	for _, l := range f.Net.Links {
+		if adj[l.A] == nil {
+			adj[l.A] = map[int]bool{}
+		}
+		if adj[l.B] == nil {
+			adj[l.B] = map[int]bool{}
+		}
+		adj[l.A][l.B] = true
+		adj[l.B][l.A] = true
+	}
+	for p := 0; p < k; p++ {
+		for i := 0; i < k/2; i++ {
+			for u := 0; u < k/2; u++ {
+				if !adj[f.Aggs[p][i]][f.Cores[i*k/2+u]] {
+					t.Fatalf("agg %d/%d not connected to core %d", p, i, i*k/2+u)
+				}
+			}
+		}
+		// Pod-internal full mesh.
+		for j := 0; j < k/2; j++ {
+			for i := 0; i < k/2; i++ {
+				if !adj[f.Edges[p][j]][f.Aggs[p][i]] {
+					t.Fatalf("edge %d/%d not connected to agg %d/%d", p, j, p, i)
+				}
+			}
+		}
+	}
+	// Servers are grouped k/2 per edge switch, in index order.
+	for s, sv := range f.ServerIDs {
+		pod := s / (k * k / 4)
+		edge := (s / (k / 2)) % (k / 2)
+		if f.Net.HostSwitch(sv) != f.Edges[pod][edge] {
+			t.Fatalf("server %d on switch %d, want %d", s, f.Net.HostSwitch(sv), f.Edges[pod][edge])
+		}
+	}
+}

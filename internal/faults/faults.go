@@ -1,0 +1,196 @@
+// Package faults injects equipment failures into constructed networks and
+// measures the degradation, supporting the robustness analysis that §5 of
+// the flat-tree paper motivates ("self-recovery of the topology from
+// failures"): how gracefully each topology's path length and throughput
+// degrade as links or switches fail, and how much a flat-tree recovers by
+// converting modes after a failure.
+package faults
+
+import (
+	"fmt"
+
+	"flattree/internal/graph"
+	"flattree/internal/topo"
+)
+
+// Scenario selects equipment to fail.
+type Scenario struct {
+	// LinkFraction fails this fraction of switch-switch links, chosen
+	// uniformly at random (server access links never fail here; a failed
+	// access link is equivalent to removing the server).
+	LinkFraction float64
+	// Switches fails these specific switch IDs outright (all their links
+	// go down; hosted servers become unreachable and are removed).
+	Switches []int
+	// Seed drives the random link choice.
+	Seed uint64
+}
+
+// Degrade returns a copy of the network with the scenario's failures
+// applied. Servers hosted by failed switches are removed along with the
+// switch. The result may be disconnected; Report quantifies that rather
+// than failing.
+func Degrade(nw *topo.Network, sc Scenario) (*topo.Network, error) {
+	if sc.LinkFraction < 0 || sc.LinkFraction >= 1 {
+		return nil, fmt.Errorf("faults: link fraction %g out of [0,1)", sc.LinkFraction)
+	}
+	failedSwitch := make(map[int]bool, len(sc.Switches))
+	for _, s := range sc.Switches {
+		if s < 0 || s >= nw.N() || !nw.Nodes[s].Kind.IsSwitch() {
+			return nil, fmt.Errorf("faults: node %d is not a switch", s)
+		}
+		failedSwitch[s] = true
+	}
+
+	// Pick failed switch-switch links.
+	var ssLinks []int
+	for _, l := range nw.Links {
+		if nw.Nodes[l.A].Kind.IsSwitch() && nw.Nodes[l.B].Kind.IsSwitch() {
+			ssLinks = append(ssLinks, l.ID)
+		}
+	}
+	numFail := int(sc.LinkFraction * float64(len(ssLinks)))
+	failedLink := make(map[int]bool, numFail)
+	rng := graph.NewRNG(sc.Seed)
+	perm := rng.Perm(len(ssLinks))
+	for i := 0; i < numFail; i++ {
+		failedLink[ssLinks[perm[i]]] = true
+	}
+
+	// Rebuild. Node IDs shift because failed switches and their servers
+	// disappear; Index and Pod are preserved.
+	b := topo.NewBuilder(nw.Name + "+faults")
+	remap := make([]int, nw.N())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for _, n := range nw.Nodes {
+		if failedSwitch[n.ID] {
+			continue
+		}
+		if n.Kind == topo.Server {
+			host := nw.HostSwitch(n.ID)
+			if host >= 0 && failedSwitch[host] {
+				continue
+			}
+		}
+		remap[n.ID] = b.AddNode(n.Kind, n.Pod, n.Index, n.Ports)
+	}
+	for _, l := range nw.Links {
+		if failedLink[l.ID] || remap[l.A] < 0 || remap[l.B] < 0 {
+			continue
+		}
+		b.AddLink(remap[l.A], remap[l.B], l.Tag)
+	}
+	return b.Build(), nil
+}
+
+// Report quantifies a degraded network.
+type Report struct {
+	// Servers surviving and total switch-switch links remaining.
+	Servers, SwitchLinks int
+	// Connected reports whether all surviving servers can still reach
+	// each other.
+	Connected bool
+	// LargestComponentFrac is the fraction of surviving servers in the
+	// largest connected component.
+	LargestComponentFrac float64
+	// APL is the average path length over server pairs in the largest
+	// component (NaN if fewer than 2 servers survive connected).
+	APL float64
+}
+
+// Analyze computes a degradation report.
+func Analyze(nw *topo.Network) (Report, error) {
+	r := Report{Servers: len(nw.Servers())}
+	for _, l := range nw.Links {
+		if nw.Nodes[l.A].Kind.IsSwitch() && nw.Nodes[l.B].Kind.IsSwitch() {
+			r.SwitchLinks++
+		}
+	}
+	if r.Servers == 0 {
+		return r, nil
+	}
+
+	// Component analysis over the full node graph.
+	g := nw.Graph()
+	comp := make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, g.N())
+	numComp := int32(0)
+	for v := 0; v < g.N(); v++ {
+		if comp[v] >= 0 || g.Degree(v) == 0 {
+			continue
+		}
+		comp[v] = numComp
+		queue[0] = int32(v)
+		head, tail := 0, 1
+		for head < tail {
+			u := queue[head]
+			head++
+			for _, h := range g.Neighbors(int(u)) {
+				if comp[h.Peer] < 0 {
+					comp[h.Peer] = numComp
+					queue[tail] = h.Peer
+					tail++
+				}
+			}
+		}
+		numComp++
+	}
+	serversPerComp := make(map[int32]int)
+	for _, sv := range nw.Servers() {
+		serversPerComp[comp[sv]]++
+	}
+	best, bestComp := 0, int32(-1)
+	for cpt, cnt := range serversPerComp {
+		if cnt > best {
+			best, bestComp = cnt, cpt
+		}
+	}
+	r.LargestComponentFrac = float64(best) / float64(r.Servers)
+	r.Connected = len(serversPerComp) == 1 && best == r.Servers
+
+	// APL inside the largest component.
+	if best < 2 {
+		return r, nil
+	}
+	var hostSwitches []int
+	counts := make(map[int]int64)
+	for _, sv := range nw.Servers() {
+		if comp[sv] != bestComp {
+			continue
+		}
+		sw := nw.HostSwitch(sv)
+		if counts[sw] == 0 {
+			hostSwitches = append(hostSwitches, sw)
+		}
+		counts[sw]++
+	}
+	dist := make([]int32, g.N())
+	var sum, pairs float64
+	for _, s := range hostSwitches {
+		g.BFSInto(s, dist, queue)
+		cs := counts[s]
+		same := cs * (cs - 1) / 2
+		sum += float64(same) * 2
+		pairs += float64(same)
+		for _, t := range hostSwitches {
+			if t <= s {
+				continue
+			}
+			if dist[t] < 0 {
+				return r, fmt.Errorf("faults: component analysis inconsistent")
+			}
+			cnt := cs * counts[t]
+			sum += float64(cnt) * float64(int(dist[t])+2)
+			pairs += float64(cnt)
+		}
+	}
+	if pairs > 0 {
+		r.APL = sum / pairs
+	}
+	return r, nil
+}

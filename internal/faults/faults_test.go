@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flattree/internal/core"
+	"flattree/internal/fattree"
+	"flattree/internal/metrics"
+)
+
+func TestNoFaultsIsIdentity(t *testing.T) {
+	f, err := fattree.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Degrade(f.Net, Scenario{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Links) != len(f.Net.Links) || d.N() != f.Net.N() {
+		t.Errorf("identity degrade changed the network: %d links vs %d", len(d.Links), len(f.Net.Links))
+	}
+	r, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Connected || r.LargestComponentFrac != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	apl, err := metrics.AveragePathLength(f.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.APL-apl) > 1e-9 {
+		t.Errorf("APL %g != metrics %g", r.APL, apl)
+	}
+}
+
+func TestLinkFailuresDegradeAPL(t *testing.T) {
+	f, err := fattree.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Analyze(f.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Degrade(f.Net, Scenario{LinkFraction: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SwitchLinks >= base.SwitchLinks {
+		t.Errorf("links did not drop: %d -> %d", base.SwitchLinks, r.SwitchLinks)
+	}
+	want := base.SwitchLinks - int(0.2*float64(base.SwitchLinks))
+	if r.SwitchLinks != want {
+		t.Errorf("links = %d, want %d", r.SwitchLinks, want)
+	}
+	if r.LargestComponentFrac > 0 && r.APL < base.APL {
+		t.Errorf("APL improved under failures: %g -> %g", base.APL, r.APL)
+	}
+}
+
+func TestSwitchFailureRemovesServers(t *testing.T) {
+	f, err := fattree.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail one edge switch: its k/2=2 servers disappear.
+	d, err := Degrade(f.Net, Scenario{Switches: []int{f.Edges[0][0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Servers()); got != 14 {
+		t.Errorf("%d servers survive, want 14", got)
+	}
+	r, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Connected {
+		t.Error("fat-tree should survive one edge switch failure")
+	}
+}
+
+func TestDegradeErrors(t *testing.T) {
+	f, err := fattree.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Degrade(f.Net, Scenario{LinkFraction: 1.0}); err == nil {
+		t.Error("fraction 1.0 accepted")
+	}
+	if _, err := Degrade(f.Net, Scenario{Switches: []int{f.ServerIDs[0]}}); err == nil {
+		t.Error("failing a server accepted")
+	}
+	if _, err := Degrade(f.Net, Scenario{Switches: []int{-1}}); err == nil {
+		t.Error("bad switch ID accepted")
+	}
+}
+
+// TestDegradeProperties: for random fractions and seeds, the degraded
+// network never gains links or servers, and the largest-component fraction
+// is in (0, 1].
+func TestDegradeProperties(t *testing.T) {
+	f, err := fattree.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Analyze(f.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = quick.Check(func(seed uint64, fracRaw uint8) bool {
+		frac := float64(fracRaw%60) / 100
+		d, err := Degrade(f.Net, Scenario{LinkFraction: frac, Seed: seed})
+		if err != nil {
+			return false
+		}
+		r, err := Analyze(d)
+		if err != nil {
+			return false
+		}
+		return r.SwitchLinks <= base.SwitchLinks &&
+			r.Servers == base.Servers &&
+			r.LargestComponentFrac > 0 && r.LargestComponentFrac <= 1
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlatTreeSurvivesModerateFailures: in global-random mode, 10% random
+// link failures leave the network overwhelmingly connected (random-graph
+// robustness, one of the motivations for converting away from Clos).
+func TestFlatTreeSurvivesModerateFailures(t *testing.T) {
+	ft, err := core.Build(core.Params{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ft.SetUniformMode(core.ModeGlobalRandom); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Degrade(ft.Net(), Scenario{LinkFraction: 0.1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LargestComponentFrac < 0.95 {
+		t.Errorf("largest component only %.2f of servers", r.LargestComponentFrac)
+	}
+}

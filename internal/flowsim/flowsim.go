@@ -1,0 +1,217 @@
+// Package flowsim is a flow-level network simulator: commodities are
+// spread over a fixed candidate path set (from a routing.Scheme) and rates
+// are assigned by progressive-filling max-min fairness. It complements the
+// optimal-routing LP throughput of internal/mcf: the paper's §2.6 proposes
+// k-shortest-paths routing for the random-graph modes, and comparing
+// flowsim's λ against mcf's quantifies how much of the optimal-routing
+// throughput that practical scheme actually achieves (an ablation the
+// benchmarks exercise).
+package flowsim
+
+import (
+	"fmt"
+	"math"
+
+	"flattree/internal/routing"
+	"flattree/internal/topo"
+)
+
+// Commodity is a demand between two nodes (servers or switches).
+type Commodity struct {
+	Src, Dst int
+	Demand   float64
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	// Lambda is min over commodities of rate/demand under max-min fair
+	// sharing — directly comparable with mcf.Result.Lambda.
+	Lambda float64
+	// MeanLambda averages rate/demand over commodities.
+	MeanLambda float64
+	// Subflows is the number of (commodity, path) pairs simulated.
+	Subflows int
+}
+
+// subflow is one commodity's share on one path.
+type subflow struct {
+	commodity int
+	links     []int32 // switch-level link indices
+	rate      float64
+	frozen    bool
+}
+
+// MaxMin computes max-min fair rates for the commodities, each split over
+// the candidate paths the scheme returns for its switch pair. Every
+// switch-switch link has unit capacity; server links are uncapacitated,
+// matching the paper's throughput methodology.
+//
+// Progressive filling: all unfrozen subflows grow at equal rate; when a
+// link saturates, its subflows freeze at the current fill level. A
+// commodity's rate is the sum over its subflows.
+func MaxMin(nw *topo.Network, scheme routing.Scheme, commodities []Commodity) (Result, error) {
+	if len(commodities) == 0 {
+		return Result{Lambda: math.Inf(1), MeanLambda: math.Inf(1)}, nil
+	}
+	// Index switch-switch links by endpoint pair for path translation.
+	type pair struct{ a, b int32 }
+	linkIdx := make(map[pair]int32)
+	var capacity []float64
+	for _, l := range nw.Links {
+		if !nw.Nodes[l.A].Kind.IsSwitch() || !nw.Nodes[l.B].Kind.IsSwitch() {
+			continue
+		}
+		a, b := int32(l.A), int32(l.B)
+		if a > b {
+			a, b = b, a
+		}
+		if _, ok := linkIdx[pair{a, b}]; ok {
+			// Parallel links pool their capacity for path-level routing.
+			capacity[linkIdx[pair{a, b}]]++
+			continue
+		}
+		linkIdx[pair{a, b}] = int32(len(capacity))
+		capacity = append(capacity, 1)
+	}
+
+	hostOf := func(v int) (int, error) {
+		if nw.Nodes[v].Kind.IsSwitch() {
+			return v, nil
+		}
+		h := nw.HostSwitch(v)
+		if h < 0 {
+			return 0, fmt.Errorf("flowsim: server %d detached", v)
+		}
+		return h, nil
+	}
+
+	var flows []subflow
+	commRate := make([]float64, len(commodities))
+	pathCache := make(map[pair][][]int32)
+	for ci, c := range commodities {
+		if c.Demand <= 0 {
+			return Result{}, fmt.Errorf("flowsim: non-positive demand %g", c.Demand)
+		}
+		s, err := hostOf(c.Src)
+		if err != nil {
+			return Result{}, err
+		}
+		d, err := hostOf(c.Dst)
+		if err != nil {
+			return Result{}, err
+		}
+		if s == d {
+			commRate[ci] = math.Inf(1) // local, uncapacitated
+			continue
+		}
+		key := pair{int32(s), int32(d)}
+		paths, ok := pathCache[key]
+		if !ok {
+			ps, err := scheme.Paths(s, d)
+			if err != nil {
+				return Result{}, err
+			}
+			for _, p := range ps {
+				var links []int32
+				valid := true
+				for i := 0; i+1 < len(p.Nodes); i++ {
+					a, b := p.Nodes[i], p.Nodes[i+1]
+					if a > b {
+						a, b = b, a
+					}
+					li, ok := linkIdx[pair{a, b}]
+					if !ok {
+						valid = false
+						break
+					}
+					links = append(links, li)
+				}
+				if valid {
+					paths = append(paths, links)
+				}
+			}
+			if len(paths) == 0 {
+				return Result{}, fmt.Errorf("flowsim: no usable path %d->%d", s, d)
+			}
+			pathCache[key] = paths
+		}
+		for _, links := range paths {
+			flows = append(flows, subflow{commodity: ci, links: links})
+		}
+	}
+
+	// Progressive filling.
+	linkFlows := make([][]int32, len(capacity))
+	for fi, f := range flows {
+		for _, li := range f.links {
+			linkFlows[li] = append(linkFlows[li], int32(fi))
+		}
+	}
+	used := make([]float64, len(capacity))
+	unfrozen := make([]int, len(capacity))
+	for li, fs := range linkFlows {
+		unfrozen[li] = len(fs)
+	}
+	level := 0.0
+	for {
+		// Next saturating link: minimal (cap - used)/unfrozen increment.
+		best := math.Inf(1)
+		bestLink := -1
+		for li := range capacity {
+			if unfrozen[li] == 0 {
+				continue
+			}
+			inc := (capacity[li] - used[li]) / float64(unfrozen[li])
+			if inc < best {
+				best = inc
+				bestLink = li
+			}
+		}
+		if bestLink < 0 {
+			break // everything frozen
+		}
+		level += best
+		// Raise all unfrozen subflows by best, then freeze those through
+		// any now-saturated link.
+		for li := range capacity {
+			used[li] += best * float64(unfrozen[li])
+		}
+		for li := range capacity {
+			if unfrozen[li] == 0 || capacity[li]-used[li] > 1e-12 {
+				continue
+			}
+			for _, fi := range linkFlows[li] {
+				f := &flows[fi]
+				if f.frozen {
+					continue
+				}
+				f.frozen = true
+				f.rate = level
+				for _, l2 := range f.links {
+					unfrozen[l2]--
+				}
+			}
+		}
+	}
+	for _, f := range flows {
+		rate := f.rate
+		if !f.frozen {
+			rate = level
+		}
+		commRate[f.commodity] += rate
+	}
+
+	res := Result{Lambda: math.Inf(1), Subflows: len(flows)}
+	sum := 0.0
+	for ci, c := range commodities {
+		v := commRate[ci] / c.Demand
+		if v < res.Lambda {
+			res.Lambda = v
+		}
+		if !math.IsInf(v, 1) {
+			sum += v
+		}
+	}
+	res.MeanLambda = sum / float64(len(commodities))
+	return res, nil
+}

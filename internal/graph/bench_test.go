@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+func regular(b *testing.B, n, d int, seed uint64) *Graph {
+	b.Helper()
+	degrees := make([]int, n)
+	for i := range degrees {
+		degrees[i] = d
+	}
+	g, err := BuildConnected(degrees, NewRNG(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkBFS(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := regular(b, n, 8, 1)
+			dist := make([]int32, n)
+			queue := make([]int32, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.BFSInto(i%n, dist, queue)
+			}
+		})
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := regular(b, n, 8, 1)
+			length := g.UnitLengths()
+			dist := make([]float64, n)
+			prev := make([]int32, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Dijkstra(i%n, length, dist, prev, nil, nil)
+			}
+		})
+	}
+}
+
+func BenchmarkKShortestPaths(b *testing.B) {
+	g := regular(b, 256, 8, 1)
+	length := g.UnitLengths()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if paths := g.KShortestPaths(0, 128, 8, length); len(paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+func BenchmarkRandomDegree(b *testing.B) {
+	degrees := make([]int, 512)
+	for i := range degrees {
+		degrees[i] = 12
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RandomDegree(degrees, NewRNG(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

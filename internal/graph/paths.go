@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Path is a node sequence from source to destination (inclusive).
+type Path struct {
+	Nodes []int32
+	Cost  float64
+}
+
+// Len returns the hop count of the path (edges, not nodes).
+func (p Path) Len() int { return len(p.Nodes) - 1 }
+
+type pqItem struct {
+	node int32
+	dist float64
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int            { return len(q) }
+func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes shortest distances from src under per-edge lengths
+// length[e] (which must be non-negative). It fills dist (len N, +Inf when
+// unreachable) and prev (len N, -1 at roots/unreachable; otherwise the edge
+// index used to reach the node). Passing nil for prev skips predecessor
+// tracking.
+//
+// banned, if non-nil, marks edges (by index) that must not be used, and
+// bannedNode marks nodes that must not be traversed; both are Yen's spur
+// machinery and may be nil for plain shortest paths.
+func (g *Graph) Dijkstra(src int, length []float64, dist []float64, prev []int32, banned map[int32]bool, bannedNode []bool) {
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if prev != nil {
+		for i := range prev {
+			prev[i] = -1
+		}
+	}
+	if bannedNode != nil && bannedNode[src] {
+		return
+	}
+	dist[src] = 0
+	q := priorityQueue{{int32(src), 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		v := it.node
+		if it.dist > dist[v] {
+			continue
+		}
+		for _, h := range g.adj[v] {
+			if banned != nil && banned[h.Edge] {
+				continue
+			}
+			if bannedNode != nil && bannedNode[h.Peer] {
+				continue
+			}
+			nd := it.dist + length[h.Edge]
+			if nd < dist[h.Peer] {
+				dist[h.Peer] = nd
+				if prev != nil {
+					prev[h.Peer] = h.Edge
+				}
+				heap.Push(&q, pqItem{h.Peer, nd})
+			}
+		}
+	}
+}
+
+// ShortestPath returns one shortest path from src to dst under the given
+// edge lengths, or ok=false if dst is unreachable.
+func (g *Graph) ShortestPath(src, dst int, length []float64) (Path, bool) {
+	dist := make([]float64, g.N())
+	prev := make([]int32, g.N())
+	g.Dijkstra(src, length, dist, prev, nil, nil)
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	return g.extractPath(src, dst, dist[dst], prev), true
+}
+
+func (g *Graph) extractPath(src, dst int, cost float64, prev []int32) Path {
+	var rev []int32
+	v := int32(dst)
+	for v != int32(src) {
+		rev = append(rev, v)
+		e := g.edges[prev[v]]
+		v = e.Other(v)
+	}
+	nodes := make([]int32, 0, len(rev)+1)
+	nodes = append(nodes, int32(src))
+	for i := len(rev) - 1; i >= 0; i-- {
+		nodes = append(nodes, rev[i])
+	}
+	return Path{Nodes: nodes, Cost: cost}
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// non-decreasing cost order using Yen's algorithm over Dijkstra. Parallel
+// edges are handled by banning edge indices rather than node pairs.
+func (g *Graph) KShortestPaths(src, dst, k int, length []float64) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := g.ShortestPath(src, dst, length)
+	if !ok {
+		return nil
+	}
+	result := []Path{first}
+	var candidates []Path
+	dist := make([]float64, g.N())
+	prev := make([]int32, g.N())
+	bannedNode := make([]bool, g.N())
+
+	for len(result) < k {
+		last := result[len(result)-1]
+		// Each node on the previous path except the terminal is a potential
+		// spur node.
+		for spurIdx := 0; spurIdx < len(last.Nodes)-1; spurIdx++ {
+			spur := last.Nodes[spurIdx]
+			rootNodes := last.Nodes[:spurIdx+1]
+			banned := make(map[int32]bool)
+			// Ban edges that would recreate any already-found path sharing
+			// this root.
+			for _, p := range result {
+				if len(p.Nodes) > spurIdx+1 && sameNodes(p.Nodes[:spurIdx+1], rootNodes) {
+					a, b := p.Nodes[spurIdx], p.Nodes[spurIdx+1]
+					for _, h := range g.adj[a] {
+						if h.Peer == b {
+							banned[h.Edge] = true
+						}
+					}
+				}
+			}
+			// Ban root nodes (except the spur) to keep paths loopless.
+			for _, v := range rootNodes[:len(rootNodes)-1] {
+				bannedNode[v] = true
+			}
+			g.Dijkstra(int(spur), length, dist, prev, banned, bannedNode)
+			if !math.IsInf(dist[dst], 1) {
+				spurPath := g.extractPath(int(spur), dst, dist[dst], prev)
+				total := make([]int32, 0, spurIdx+len(spurPath.Nodes))
+				total = append(total, rootNodes...)
+				total = append(total, spurPath.Nodes[1:]...)
+				cost := spurPath.Cost
+				for i := 0; i < spurIdx; i++ {
+					cost += g.minEdgeLen(last.Nodes[i], last.Nodes[i+1], length)
+				}
+				cand := Path{Nodes: total, Cost: cost}
+				if !containsPath(candidates, cand) && !containsPath(result, cand) {
+					candidates = append(candidates, cand)
+				}
+			}
+			for _, v := range rootNodes[:len(rootNodes)-1] {
+				bannedNode[v] = false
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		best := 0
+		for i := 1; i < len(candidates); i++ {
+			if candidates[i].Cost < candidates[best].Cost {
+				best = i
+			}
+		}
+		result = append(result, candidates[best])
+		candidates = append(candidates[:best], candidates[best+1:]...)
+	}
+	return result
+}
+
+func (g *Graph) minEdgeLen(a, b int32, length []float64) float64 {
+	best := math.Inf(1)
+	for _, h := range g.adj[a] {
+		if h.Peer == b && length[h.Edge] < best {
+			best = length[h.Edge]
+		}
+	}
+	return best
+}
+
+func sameNodes(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(list []Path, p Path) bool {
+	for _, q := range list {
+		if sameNodes(q.Nodes, p.Nodes) {
+			return true
+		}
+	}
+	return false
+}
+
+// UnitLengths returns a length vector assigning 1.0 to every edge, for
+// hop-count shortest paths through the weighted machinery.
+func (g *Graph) UnitLengths() []float64 {
+	l := make([]float64, g.M())
+	for i := range l {
+		l[i] = 1
+	}
+	return l
+}

@@ -1,0 +1,66 @@
+package graph
+
+// RNG is a small deterministic pseudo-random generator (splitmix64 core).
+// Experiments in this repository must be reproducible bit-for-bit across
+// platforms and Go releases, so we avoid math/rand's unspecified evolution
+// and carry our own generator. It is not cryptographic and does not need to
+// be.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the same
+// seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("graph: Intn with non-positive bound")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// modulo bias is negligible for the bounds we use (n << 2^64), but we
+	// still reject the biased tail for exactness.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

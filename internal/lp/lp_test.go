@@ -1,0 +1,155 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func solve(t *testing.T, p *Problem) Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x+2y st x+y<=4, x+3y<=6 => x=4,y=0, obj=12? Check: x+y<=4 binds
+	// at (4,0): 4<=4 ok, 4<=6 ok, obj=12. Try (3,1): 11. Yes 12.
+	p := NewProblem(2)
+	p.Maximize()
+	p.SetObjectiveCoef(0, 3)
+	p.SetObjectiveCoef(1, 2)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{0: 1, 1: 3}, LE, 6)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 12) {
+		t.Errorf("sol = %+v, want objective 12", sol)
+	}
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min 2x+3y st x+y>=10, x<=6 => y>=4, best x=6,y=4: 24.
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, 2)
+	p.SetObjectiveCoef(1, 3)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, GE, 10)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 6)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 24) {
+		t.Errorf("sol = %+v, want objective 24", sol)
+	}
+	if !almost(sol.X[0], 6) || !almost(sol.X[1], 4) {
+		t.Errorf("x = %v, want [6 4]", sol.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x+y st x+2y=8, x<=4 => x=4, y=2, obj=6.
+	p := NewProblem(2)
+	p.Maximize()
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 2}, EQ, 8)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 4)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 6) {
+		t.Errorf("sol = %+v, want objective 6", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 5)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 3)
+	sol := solve(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %s, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.Maximize()
+	p.SetObjectiveCoef(0, 1)
+	p.AddConstraint(map[int]float64{1: 1}, LE, 3)
+	sol := solve(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %s, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x - y <= -2 with x,y>=0: y >= x+2. min y => x=0, y=2.
+	p := NewProblem(2)
+	p.SetObjectiveCoef(1, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: -1}, LE, -2)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 2) {
+		t.Errorf("sol = %+v, want objective 2", sol)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Duplicate constraints (redundant rows must not break phase 1).
+	p := NewProblem(2)
+	p.Maximize()
+	p.SetObjectiveCoef(0, 1)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 5)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 5)
+	p.AddConstraint(map[int]float64{0: 2, 1: 2}, EQ, 10)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 5) {
+		t.Errorf("sol = %+v, want objective 5", sol)
+	}
+}
+
+func TestDegenerateVertex(t *testing.T) {
+	// Classic degeneracy: multiple constraints meet at the optimum; Bland's
+	// rule must still terminate.
+	p := NewProblem(3)
+	p.Maximize()
+	p.SetObjectiveCoef(0, 10)
+	p.SetObjectiveCoef(1, -57)
+	p.SetObjectiveCoef(2, -9)
+	p.AddConstraint(map[int]float64{0: 0.5, 1: -5.5, 2: -2.5}, LE, 0)
+	p.AddConstraint(map[int]float64{0: 0.5, 1: -1.5, 2: -0.5}, LE, 0)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 1)
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 1) {
+		t.Errorf("sol = %+v, want objective 1 (x=1,y=0,z=0... )", sol)
+	}
+}
+
+func TestMaxFlowAsLP(t *testing.T) {
+	// Max flow 0->3 on the diamond with unit capacities = 2.
+	// Vars: f01, f02, f13, f23 (arcs), v = flow value.
+	p := NewProblem(5)
+	p.Maximize()
+	p.SetObjectiveCoef(4, 1)
+	// Conservation at 1: f01 = f13; at 2: f02 = f23.
+	p.AddConstraint(map[int]float64{0: 1, 2: -1}, EQ, 0)
+	p.AddConstraint(map[int]float64{1: 1, 3: -1}, EQ, 0)
+	// Source: f01 + f02 = v.
+	p.AddConstraint(map[int]float64{0: 1, 1: 1, 4: -1}, EQ, 0)
+	// Capacities.
+	for v := 0; v < 4; v++ {
+		p.AddConstraint(map[int]float64{v: 1}, LE, 1)
+	}
+	sol := solve(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 2) {
+		t.Errorf("max flow = %+v, want 2", sol)
+	}
+}
+
+func TestConstraintVarOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewProblem(1).AddConstraint(map[int]float64{3: 1}, LE, 1)
+}

@@ -1,0 +1,113 @@
+package lp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flattree/internal/graph"
+)
+
+// TestRandomLPFeasibilityAndOptimality: generate random bounded LPs, solve,
+// and check (a) the solution satisfies every constraint, and (b) no
+// randomly sampled feasible point beats the reported optimum.
+func TestRandomLPFeasibilityAndOptimality(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := graph.NewRNG(seed)
+		nVars := 2 + rng.Intn(4)
+		nCons := 1 + rng.Intn(5)
+
+		p := NewProblem(nVars)
+		p.Maximize()
+		obj := make([]float64, nVars)
+		for v := range obj {
+			obj[v] = float64(rng.Intn(11) - 5)
+			p.SetObjectiveCoef(v, obj[v])
+		}
+		type con struct {
+			coefs map[int]float64
+			rhs   float64
+		}
+		var cons []con
+		// Box constraints keep the LP bounded.
+		for v := 0; v < nVars; v++ {
+			c := map[int]float64{v: 1}
+			rhs := float64(1 + rng.Intn(10))
+			p.AddConstraint(c, LE, rhs)
+			cons = append(cons, con{c, rhs})
+		}
+		for i := 0; i < nCons; i++ {
+			c := make(map[int]float64)
+			for v := 0; v < nVars; v++ {
+				if rng.Intn(2) == 0 {
+					c[v] = float64(rng.Intn(7) - 2)
+				}
+			}
+			if len(c) == 0 {
+				continue
+			}
+			rhs := float64(rng.Intn(12))
+			p.AddConstraint(c, LE, rhs)
+			cons = append(cons, con{c, rhs})
+		}
+
+		sol, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		if sol.Status == Infeasible {
+			// x = 0 satisfies every constraint we built (rhs >= 0), so
+			// infeasibility would be a bug.
+			return false
+		}
+		if sol.Status != Optimal {
+			return false // boxed, so never unbounded
+		}
+		// (a) Feasibility of the reported solution.
+		for _, c := range cons {
+			lhs := 0.0
+			for v, cf := range c.coefs {
+				lhs += cf * sol.X[v]
+			}
+			if lhs > c.rhs+1e-6 {
+				return false
+			}
+		}
+		for _, x := range sol.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		// (b) Sampled feasible points never beat the optimum.
+		for trial := 0; trial < 50; trial++ {
+			x := make([]float64, nVars)
+			for v := range x {
+				x[v] = rng.Float64() * 10
+			}
+			feasible := true
+			for _, c := range cons {
+				lhs := 0.0
+				for v, cf := range c.coefs {
+					lhs += cf * x[v]
+				}
+				if lhs > c.rhs {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			val := 0.0
+			for v := range x {
+				val += obj[v] * x[v]
+			}
+			if val > sol.Objective+1e-6 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}

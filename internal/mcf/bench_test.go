@@ -1,0 +1,52 @@
+package mcf
+
+import (
+	"fmt"
+	"testing"
+
+	"flattree/internal/fattree"
+	"flattree/internal/graph"
+)
+
+// BenchmarkFleischer measures the FPTAS on a fat-tree hot-spot instance.
+func BenchmarkFleischer(b *testing.B) {
+	for _, k := range []int{8, 12} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			ft, err := fattree.New(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := graph.NewRNG(1)
+			var comms []Commodity
+			hot := ft.ServerIDs[0]
+			for i := 0; i < 64; i++ {
+				dst := ft.ServerIDs[1+rng.Intn(len(ft.ServerIDs)-1)]
+				comms = append(comms, Commodity{Src: hot, Dst: dst, Demand: 1})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := MaxConcurrentFlow(ft.Net, comms, Options{Epsilon: 0.1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactLP measures the simplex backend on a tiny instance.
+func BenchmarkExactLP(b *testing.B) {
+	ft, err := fattree.New(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comms := []Commodity{
+		{Src: ft.ServerIDs[0], Dst: ft.ServerIDs[15], Demand: 1},
+		{Src: ft.ServerIDs[4], Dst: ft.ServerIDs[11], Demand: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxConcurrentFlowExact(ft.Net, comms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

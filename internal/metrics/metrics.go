@@ -1,0 +1,171 @@
+// Package metrics computes the evaluation metrics of the flat-tree paper:
+// average path length in hops over server pairs — network-wide (Figure 5)
+// and restricted to pairs within the same pod (Figure 6) — plus supporting
+// distance statistics. Converter switches never appear in effective
+// networks, so hop counts automatically satisfy the paper's "converters are
+// physical-layer and contribute no hops" assumption.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"flattree/internal/topo"
+)
+
+// PathLengthStats aggregates server-pair distance statistics for one
+// network. Distances are in hops (links traversed), server to server: two
+// servers on the same switch are 2 hops apart.
+type PathLengthStats struct {
+	// Global is the mean over all distinct server pairs.
+	Global float64
+	// IntraPod is the mean over distinct server pairs with the same pod
+	// label (servers keep their home-pod label in every topology, so this
+	// compares "the same tenants" across topologies, as §3.2 does).
+	IntraPod float64
+	// Max is the server-pair diameter.
+	Max int
+	// Histogram[d] counts server pairs at distance d.
+	Histogram []int64
+}
+
+// ServerPathLengths computes PathLengthStats with one BFS per
+// server-hosting switch. It returns an error if any server pair is
+// disconnected.
+func ServerPathLengths(nw *topo.Network) (PathLengthStats, error) {
+	g := nw.Graph()
+	n := g.N()
+
+	// Hosting switches and per-switch server counts, plus per-(switch,pod)
+	// counts for the intra-pod aggregation.
+	type podCount struct {
+		pod   int
+		count int64
+	}
+	hostSwitches := make([]int, 0)
+	total := make([]int64, n)
+	byPod := make([][]podCount, n)
+	numServers := 0
+	for _, sv := range nw.Servers() {
+		numServers++
+		sw := nw.HostSwitch(sv)
+		if sw < 0 {
+			return PathLengthStats{}, fmt.Errorf("metrics: server %d detached", sv)
+		}
+		if total[sw] == 0 {
+			hostSwitches = append(hostSwitches, sw)
+		}
+		total[sw]++
+		pod := nw.Nodes[sv].Pod
+		found := false
+		for i := range byPod[sw] {
+			if byPod[sw][i].pod == pod {
+				byPod[sw][i].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			byPod[sw] = append(byPod[sw], podCount{pod, 1})
+		}
+	}
+	if numServers < 2 {
+		return PathLengthStats{}, fmt.Errorf("metrics: need at least 2 servers, have %d", numServers)
+	}
+
+	var (
+		sumGlobal   float64
+		pairsGlobal float64
+		sumPod      float64
+		pairsPod    float64
+		hist        []int64
+		maxD        int
+	)
+	bump := func(d int, cnt int64) {
+		for d >= len(hist) {
+			hist = append(hist, 0)
+		}
+		hist[d] += cnt
+		if d > maxD {
+			maxD = d
+		}
+	}
+
+	dist := make([]int32, n)
+	queue := make([]int32, n)
+	for _, s := range hostSwitches {
+		g.BFSInto(s, dist, queue)
+		cs := total[s]
+		// Same-switch pairs: distance 2.
+		same := cs * (cs - 1) / 2
+		if same > 0 {
+			sumGlobal += float64(same) * 2
+			pairsGlobal += float64(same)
+			bump(2, same)
+		}
+		for _, pc := range byPod[s] {
+			samePod := pc.count * (pc.count - 1) / 2
+			sumPod += float64(samePod) * 2
+			pairsPod += float64(samePod)
+		}
+		// Cross-switch pairs, counted once via t > s.
+		for _, t := range hostSwitches {
+			if t <= s {
+				continue
+			}
+			d := dist[t]
+			if d < 0 {
+				return PathLengthStats{}, fmt.Errorf("metrics: switches %d and %d disconnected", s, t)
+			}
+			hops := int(d) + 2
+			cnt := cs * total[t]
+			sumGlobal += float64(cnt) * float64(hops)
+			pairsGlobal += float64(cnt)
+			bump(hops, cnt)
+			for _, pa := range byPod[s] {
+				for _, pb := range byPod[t] {
+					if pa.pod == pb.pod {
+						cnt := pa.count * pb.count
+						sumPod += float64(cnt) * float64(hops)
+						pairsPod += float64(cnt)
+					}
+				}
+			}
+		}
+	}
+
+	st := PathLengthStats{
+		Global:    sumGlobal / pairsGlobal,
+		Max:       maxD,
+		Histogram: hist,
+	}
+	if pairsPod > 0 {
+		st.IntraPod = sumPod / pairsPod
+	} else {
+		st.IntraPod = math.NaN()
+	}
+	return st, nil
+}
+
+// AveragePathLength returns the network-wide server-pair average path
+// length in hops.
+func AveragePathLength(nw *topo.Network) (float64, error) {
+	st, err := ServerPathLengths(nw)
+	if err != nil {
+		return 0, err
+	}
+	return st.Global, nil
+}
+
+// IntraPodAveragePathLength returns the mean distance over server pairs
+// sharing a pod label.
+func IntraPodAveragePathLength(nw *topo.Network) (float64, error) {
+	st, err := ServerPathLengths(nw)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(st.IntraPod) {
+		return 0, fmt.Errorf("metrics: network has no intra-pod server pairs")
+	}
+	return st.IntraPod, nil
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"flattree/internal/fattree"
+	"flattree/internal/topo"
+)
+
+// fatTreeAPL computes the closed-form fat-tree average path length:
+// same-edge pairs at 2 hops, same-pod pairs at 4, cross-pod pairs at 6.
+func fatTreeAPL(k int) float64 {
+	n := float64(k * k * k / 4)
+	perEdge := float64(k / 2)
+	perPod := float64(k * k / 4)
+	pairs := n * (n - 1) / 2
+	sameEdge := (n / perEdge) * perEdge * (perEdge - 1) / 2
+	samePod := (n/perPod)*perPod*(perPod-1)/2 - sameEdge
+	cross := pairs - sameEdge - samePod
+	return (2*sameEdge + 4*samePod + 6*cross) / pairs
+}
+
+func TestFatTreeAPLMatchesClosedForm(t *testing.T) {
+	for _, k := range []int{4, 6, 8, 12} {
+		f, err := fattree.New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ServerPathLengths(f.Net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fatTreeAPL(k)
+		if math.Abs(st.Global-want) > 1e-9 {
+			t.Errorf("k=%d: APL = %g, want %g", k, st.Global, want)
+		}
+		if st.Max != 6 {
+			t.Errorf("k=%d: max = %d, want 6", k, st.Max)
+		}
+		// Intra-pod: same-edge 2, otherwise 4.
+		perEdge := float64(k / 2)
+		perPod := float64(k * k / 4)
+		podPairs := perPod * (perPod - 1) / 2
+		sameEdge := (perPod / perEdge) * perEdge * (perEdge - 1) / 2
+		wantPod := (2*sameEdge + 4*(podPairs-sameEdge)) / podPairs
+		if math.Abs(st.IntraPod-wantPod) > 1e-9 {
+			t.Errorf("k=%d: intra-pod APL = %g, want %g", k, st.IntraPod, wantPod)
+		}
+	}
+}
+
+func TestHistogramSumsToAllPairs(t *testing.T) {
+	f, err := fattree.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ServerPathLengths(f.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	var weighted float64
+	for d, c := range st.Histogram {
+		total += c
+		weighted += float64(d) * float64(c)
+	}
+	n := int64(6 * 6 * 6 / 4)
+	if total != n*(n-1)/2 {
+		t.Errorf("histogram total %d, want %d", total, n*(n-1)/2)
+	}
+	if math.Abs(weighted/float64(total)-st.Global) > 1e-9 {
+		t.Error("histogram mean disagrees with Global")
+	}
+}
+
+func TestTwoServersOneSwitch(t *testing.T) {
+	b := topo.NewBuilder("tiny")
+	sw := b.AddNode(topo.EdgeSwitch, 0, 0, 4)
+	s0 := b.AddNode(topo.Server, 0, 0, 1)
+	s1 := b.AddNode(topo.Server, 0, 1, 1)
+	b.AddLink(s0, sw, topo.TagClos)
+	b.AddLink(s1, sw, topo.TagClos)
+	st, err := ServerPathLengths(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Global != 2 || st.IntraPod != 2 {
+		t.Errorf("stats = %+v, want APL 2", st)
+	}
+}
+
+func TestDisconnectedError(t *testing.T) {
+	b := topo.NewBuilder("split")
+	sw0 := b.AddNode(topo.EdgeSwitch, 0, 0, 4)
+	sw1 := b.AddNode(topo.EdgeSwitch, 1, 0, 4)
+	s0 := b.AddNode(topo.Server, 0, 0, 1)
+	s1 := b.AddNode(topo.Server, 1, 1, 1)
+	b.AddLink(s0, sw0, topo.TagClos)
+	b.AddLink(s1, sw1, topo.TagClos)
+	if _, err := ServerPathLengths(b.Build()); err == nil {
+		t.Error("disconnected network should error")
+	}
+}
+
+func TestSingleServerError(t *testing.T) {
+	b := topo.NewBuilder("one")
+	sw := b.AddNode(topo.EdgeSwitch, 0, 0, 4)
+	s0 := b.AddNode(topo.Server, 0, 0, 1)
+	b.AddLink(s0, sw, topo.TagClos)
+	if _, err := ServerPathLengths(b.Build()); err == nil {
+		t.Error("single server should error")
+	}
+}
+
+func TestWrappers(t *testing.T) {
+	f, err := fattree.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := AveragePathLength(f.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := IntraPodAveragePathLength(f.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= p {
+		t.Errorf("global APL %g should exceed intra-pod %g in a fat-tree", g, p)
+	}
+}

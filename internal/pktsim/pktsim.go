@@ -1,0 +1,306 @@
+// Package pktsim is a packet-level discrete-event simulator: packets are
+// routed hop by hop through the switch fabric using per-flow ECMP hashing
+// over a routing.Table, every directed link is a unit-rate store-and-forward
+// server with a finite FIFO queue, and the simulator reports end-to-end
+// latency, hop counts, drops, and link utilization.
+//
+// Where internal/mcf answers "what is the optimal-routing capacity?" and
+// internal/dynsim answers "how do fluid flows fare under max-min sharing?",
+// pktsim answers the question operators ask first: what latency do packets
+// see — and it makes the average-path-length differences of Figures 5 and 6
+// directly observable as nanoseconds-on-the-wire.
+package pktsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"flattree/internal/graph"
+	"flattree/internal/routing"
+	"flattree/internal/topo"
+)
+
+// Packet is one injected packet. Packets of the same Flow hash to the same
+// ECMP path choices, like a real 5-tuple.
+type Packet struct {
+	Time     float64
+	Src, Dst int // server node IDs
+	Flow     uint64
+}
+
+// Config tunes the simulator.
+type Config struct {
+	// QueueLimit is the per-directed-link FIFO capacity in packets
+	// (default 64). Arrivals to a full queue are dropped.
+	QueueLimit int
+	// PropDelay is the per-hop propagation delay added after the unit
+	// transmission time (default 0.05).
+	PropDelay float64
+	// HopLimit drops packets that exceed it (default 32), guarding
+	// against routing loops.
+	HopLimit int
+}
+
+// Result summarizes a run.
+type Result struct {
+	Sent, Delivered, Dropped int
+	// MeanLatency and P99Latency are end-to-end (injection to delivery).
+	MeanLatency, P99Latency float64
+	// MeanHops counts switch-switch traversals of delivered packets.
+	MeanHops float64
+	// MaxQueue is the deepest any queue got.
+	MaxQueue int
+	// Utilization is mean busy fraction over directed links, measured
+	// until the last delivery.
+	Utilization float64
+}
+
+type pkt struct {
+	Packet
+	dstSwitch int32
+	hops      int
+}
+
+type queuedLink struct {
+	queue []*pkt
+	busy  bool
+	// busyTime accumulates transmission time for utilization.
+	busyTime float64
+}
+
+type event struct {
+	time float64
+	kind uint8 // 0 = injection, 1 = tx complete, 2 = hop arrival
+	link int32 // tx complete: which directed link
+	at   int32 // hop arrival: which switch
+	pkt  *pkt  // injection / hop arrival
+	seq  int64
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Simulate runs the packet simulation over the injected packets using the
+// forwarding table's ECMP next hops.
+func Simulate(nw *topo.Network, table *routing.Table, packets []Packet, cfg Config) (Result, error) {
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 64
+	}
+	if cfg.PropDelay < 0 {
+		return Result{}, fmt.Errorf("pktsim: negative propagation delay")
+	}
+	if cfg.PropDelay == 0 {
+		cfg.PropDelay = 0.05
+	}
+	if cfg.HopLimit <= 0 {
+		cfg.HopLimit = 32
+	}
+
+	// Directed link state, keyed by (from, to) switch pair.
+	type dirKey struct{ from, to int32 }
+	linkIdx := make(map[dirKey]int32)
+	var links []queuedLink
+	var linkTo []int32 // destination switch of each directed link
+	for _, l := range nw.Links {
+		if !nw.Nodes[l.A].Kind.IsSwitch() || !nw.Nodes[l.B].Kind.IsSwitch() {
+			continue
+		}
+		for _, d := range [2]dirKey{{int32(l.A), int32(l.B)}, {int32(l.B), int32(l.A)}} {
+			if _, ok := linkIdx[d]; !ok {
+				linkIdx[d] = int32(len(links))
+				links = append(links, queuedLink{})
+				linkTo = append(linkTo, d.to)
+			}
+		}
+	}
+
+	hostOf := func(v int) (int32, error) {
+		if v < 0 || v >= nw.N() {
+			return 0, fmt.Errorf("pktsim: node %d out of range", v)
+		}
+		if nw.Nodes[v].Kind.IsSwitch() {
+			return int32(v), nil
+		}
+		h := nw.HostSwitch(v)
+		if h < 0 {
+			return 0, fmt.Errorf("pktsim: server %d detached", v)
+		}
+		return int32(h), nil
+	}
+
+	var (
+		res     Result
+		events  eventQueue
+		seq     int64
+		now     float64
+		lastDel float64
+	)
+	push := func(e *event) {
+		e.seq = seq
+		seq++
+		heap.Push(&events, e)
+	}
+
+	var latencies []float64
+	totalHops := 0
+
+	// hash picks an ECMP next hop deterministically per (flow, switch).
+	hash := func(flow uint64, sw int32, n int) int {
+		x := flow ^ (uint64(sw) * 0x9e3779b97f4a7c15)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return int(x % uint64(n))
+	}
+
+	// forward enqueues p at switch sw toward its destination; returns
+	// false (drop) on missing route, hop limit, or full queue.
+	forward := func(p *pkt, sw int32) bool {
+		if sw == p.dstSwitch {
+			// Delivered.
+			res.Delivered++
+			latencies = append(latencies, now-p.Time)
+			totalHops += p.hops
+			lastDel = now
+			return true
+		}
+		if p.hops >= cfg.HopLimit {
+			return false
+		}
+		hops := table.NextHops(int(sw), int(p.dstSwitch))
+		if len(hops) == 0 {
+			return false
+		}
+		next := hops[hash(p.Flow, sw, len(hops))]
+		li, ok := linkIdx[dirKey{sw, next}]
+		if !ok {
+			return false
+		}
+		l := &links[li]
+		if len(l.queue) >= cfg.QueueLimit {
+			return false
+		}
+		l.queue = append(l.queue, p)
+		if len(l.queue) > res.MaxQueue {
+			res.MaxQueue = len(l.queue)
+		}
+		if !l.busy {
+			l.busy = true
+			push(&event{time: now + 1, kind: 1, link: li})
+		}
+		return true
+	}
+
+	sorted := append([]Packet(nil), packets...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	for i := range sorted {
+		src, err := hostOf(sorted[i].Src)
+		if err != nil {
+			return res, err
+		}
+		dst, err := hostOf(sorted[i].Dst)
+		if err != nil {
+			return res, err
+		}
+		p := &pkt{Packet: sorted[i], dstSwitch: dst}
+		_ = src
+		push(&event{time: sorted[i].Time, kind: 0, pkt: p})
+	}
+	res.Sent = len(sorted)
+
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(*event)
+		now = e.time
+		switch e.kind {
+		case 0: // injection at source switch
+			src, _ := hostOf(e.pkt.Src)
+			if !forward(e.pkt, src) {
+				res.Dropped++
+			}
+		case 1: // transmission complete on directed link
+			l := &links[e.link]
+			p := l.queue[0]
+			l.queue = l.queue[1:]
+			l.busyTime++
+			if len(l.queue) > 0 {
+				push(&event{time: now + 1, kind: 1, link: e.link})
+			} else {
+				l.busy = false
+			}
+			// The packet reaches the peer switch after propagation.
+			push(&event{time: now + cfg.PropDelay, kind: 2, at: linkTo[e.link], pkt: p})
+		case 2: // hop arrival at a switch
+			e.pkt.hops++
+			if !forward(e.pkt, e.at) {
+				res.Dropped++
+			}
+		}
+	}
+
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		sum := 0.0
+		for _, v := range latencies {
+			sum += v
+		}
+		res.MeanLatency = sum / float64(len(latencies))
+		res.P99Latency = latencies[int(0.99*float64(len(latencies)-1))]
+		res.MeanHops = float64(totalHops) / float64(res.Delivered)
+	}
+	if lastDel > 0 && len(links) > 0 {
+		busy := 0.0
+		for i := range links {
+			busy += links[i].busyTime
+		}
+		res.Utilization = busy / (lastDel * float64(len(links)))
+	}
+	return res, nil
+}
+
+// PoissonPackets injects count packets between uniform random server pairs
+// at the given aggregate rate; flowPkts consecutive packets share a flow ID
+// (and thus ECMP choices).
+func PoissonPackets(servers []int, rate float64, count, flowPkts int, rng *graph.RNG) []Packet {
+	if flowPkts <= 0 {
+		flowPkts = 1
+	}
+	out := make([]Packet, 0, count)
+	t := 0.0
+	var src, dst int
+	var flow uint64
+	for i := 0; i < count; i++ {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		t += -math.Log(u) / rate
+		if i%flowPkts == 0 {
+			src = servers[rng.Intn(len(servers))]
+			dst = servers[rng.Intn(len(servers))]
+			for dst == src {
+				dst = servers[rng.Intn(len(servers))]
+			}
+			flow = rng.Uint64()
+		}
+		out = append(out, Packet{Time: t, Src: src, Dst: dst, Flow: flow})
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package pktsim
+
+import (
+	"math"
+	"testing"
+
+	"flattree/internal/core"
+	"flattree/internal/fattree"
+	"flattree/internal/graph"
+	"flattree/internal/routing"
+	"flattree/internal/topo"
+)
+
+// lineNet: sw0 - sw1 - sw2 with a server on each end.
+func lineNet() (*topo.Network, []int) {
+	b := topo.NewBuilder("line")
+	var sw [3]int
+	for i := range sw {
+		sw[i] = b.AddNode(topo.EdgeSwitch, 0, i, 4)
+	}
+	b.AddLink(sw[0], sw[1], topo.TagClos)
+	b.AddLink(sw[1], sw[2], topo.TagClos)
+	var servers []int
+	for i, s := range []int{sw[0], sw[2]} {
+		sv := b.AddNode(topo.Server, 0, i, 1)
+		b.AddLink(sv, s, topo.TagClos)
+		servers = append(servers, sv)
+	}
+	return b.Build(), servers
+}
+
+func TestSinglePacketLatency(t *testing.T) {
+	nw, servers := lineNet()
+	table := routing.BuildTable(nw)
+	res, err := Simulate(nw, table, []Packet{
+		{Time: 0, Src: servers[0], Dst: servers[1], Flow: 1},
+	}, Config{PropDelay: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 || res.Dropped != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Two switch hops: 2 transmissions (1 each) + 2 propagations (0.5).
+	if math.Abs(res.MeanLatency-3.0) > 1e-9 {
+		t.Errorf("latency = %g, want 3.0", res.MeanLatency)
+	}
+	if res.MeanHops != 2 {
+		t.Errorf("hops = %g, want 2", res.MeanHops)
+	}
+}
+
+func TestQueueingDelay(t *testing.T) {
+	nw, servers := lineNet()
+	table := routing.BuildTable(nw)
+	// Two simultaneous packets on the same path: the second waits one
+	// transmission time at the first link.
+	res, err := Simulate(nw, table, []Packet{
+		{Time: 0, Src: servers[0], Dst: servers[1], Flow: 1},
+		{Time: 0, Src: servers[0], Dst: servers[1], Flow: 2},
+	}, Config{PropDelay: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2 {
+		t.Fatalf("delivered %d", res.Delivered)
+	}
+	// Latencies 3.0 and 4.0 -> mean 3.5 (pipelining hides nothing at the
+	// bottleneck first link; the second link is idle when pkt2 arrives).
+	if math.Abs(res.MeanLatency-3.5) > 1e-9 {
+		t.Errorf("mean latency = %g, want 3.5", res.MeanLatency)
+	}
+	if res.MaxQueue != 2 {
+		t.Errorf("max queue = %d, want 2", res.MaxQueue)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	nw, servers := lineNet()
+	table := routing.BuildTable(nw)
+	var pkts []Packet
+	for i := 0; i < 5; i++ {
+		pkts = append(pkts, Packet{Time: 0, Src: servers[0], Dst: servers[1], Flow: uint64(i)})
+	}
+	res, err := Simulate(nw, table, pkts, Config{QueueLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 3 || res.Delivered != 2 {
+		t.Errorf("res = %+v, want 2 delivered / 3 dropped", res)
+	}
+	if res.Sent != 5 || res.Delivered+res.Dropped != res.Sent {
+		t.Errorf("conservation violated: %+v", res)
+	}
+}
+
+func TestSameSwitchDeliveryInstant(t *testing.T) {
+	b := topo.NewBuilder("one")
+	sw := b.AddNode(topo.EdgeSwitch, 0, 0, 4)
+	sw2 := b.AddNode(topo.EdgeSwitch, 0, 1, 4)
+	b.AddLink(sw, sw2, topo.TagClos)
+	s0 := b.AddNode(topo.Server, 0, 0, 1)
+	s1 := b.AddNode(topo.Server, 0, 1, 1)
+	b.AddLink(s0, sw, topo.TagClos)
+	b.AddLink(s1, sw, topo.TagClos)
+	nw := b.Build()
+	res, err := Simulate(nw, routing.BuildTable(nw), []Packet{
+		{Time: 1, Src: s0, Dst: s1, Flow: 9},
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 || res.MeanLatency != 0 || res.MeanHops != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+// TestECMPFlowConsistency: packets of one flow take one path (no
+// reordering across equal-cost paths); packets of many flows spread.
+func TestECMPFlowConsistency(t *testing.T) {
+	f, err := fattree.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := routing.BuildTable(f.Net)
+	// Single flow, many packets: deliveries must be in order (FIFO along
+	// a single path).
+	var pkts []Packet
+	for i := 0; i < 20; i++ {
+		pkts = append(pkts, Packet{Time: float64(i) * 0.1, Src: f.ServerIDs[0], Dst: f.ServerIDs[12], Flow: 7})
+	}
+	res, err := Simulate(f.Net, table, pkts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 20 {
+		t.Fatalf("delivered %d/20", res.Delivered)
+	}
+	// All packets of one flow share the path, so hop counts are equal:
+	// mean is an integer.
+	if res.MeanHops != math.Trunc(res.MeanHops) {
+		t.Errorf("single flow took multiple paths: mean hops %g", res.MeanHops)
+	}
+}
+
+// TestFatTreeUniformTraffic: conservation and sane latency under load.
+func TestFatTreeUniformTraffic(t *testing.T) {
+	f, err := fattree.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := graph.NewRNG(3)
+	pkts := PoissonPackets(f.ServerIDs, 5.0, 400, 4, rng)
+	res, err := Simulate(f.Net, routing.BuildTable(f.Net), pkts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered+res.Dropped != res.Sent {
+		t.Fatalf("conservation violated: %+v", res)
+	}
+	if res.Delivered < res.Sent*9/10 {
+		t.Errorf("too many drops at light load: %+v", res)
+	}
+	// Minimum possible latency is 2 hops * (1 + 0.05).
+	if res.MeanLatency < 2.1 {
+		t.Errorf("mean latency %g below physical floor", res.MeanLatency)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization %g out of range", res.Utilization)
+	}
+}
+
+// TestGlobalRandomLowerLatency: the Figure-5 APL gap shows up as packet
+// latency — flat-tree in global-random mode delivers uniform traffic with
+// lower mean latency than the same plant in Clos mode.
+func TestGlobalRandomLowerLatency(t *testing.T) {
+	ft, err := core.Build(core.Params{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mode core.Mode) Result {
+		if err := ft.SetUniformMode(mode); err != nil {
+			t.Fatal(err)
+		}
+		nw := ft.Net()
+		rng := graph.NewRNG(17)
+		pkts := PoissonPackets(nw.Servers(), 10.0, 1500, 4, rng)
+		res, err := Simulate(nw, routing.BuildTable(nw), pkts, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clos := run(core.ModeClos)
+	global := run(core.ModeGlobalRandom)
+	if global.MeanHops >= clos.MeanHops {
+		t.Errorf("global-random hops %g not below Clos %g", global.MeanHops, clos.MeanHops)
+	}
+	if global.MeanLatency >= clos.MeanLatency {
+		t.Errorf("global-random latency %g not below Clos %g", global.MeanLatency, clos.MeanLatency)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	nw, servers := lineNet()
+	table := routing.BuildTable(nw)
+	if _, err := Simulate(nw, table, []Packet{{Src: -1, Dst: servers[0]}}, Config{}); err == nil {
+		t.Error("bad src accepted")
+	}
+	if _, err := Simulate(nw, table, nil, Config{PropDelay: -1}); err == nil {
+		t.Error("negative delay accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleNet() *Network {
+	b := NewBuilder("sample")
+	c := b.AddNode(CoreSwitch, -1, 0, 4)
+	a := b.AddNode(AggSwitch, 0, 0, 4)
+	e := b.AddNode(EdgeSwitch, 0, 0, 4)
+	s := b.AddNode(Server, 0, 0, 1)
+	b.AddLink(c, a, TagClos)
+	b.AddLink(a, e, TagClos)
+	b.AddLink(e, s, TagConverter)
+	b.AddLink(c, e, TagSide)
+	return b.Build()
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleNet().WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"graph \"sample\"", "n0 --", "style=dashed", "shape=point", "p0/agg0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	nw := sampleNet()
+	var buf bytes.Buffer
+	if err := nw.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != nw.Name || got.N() != nw.N() || len(got.Links) != len(nw.Links) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i, l := range nw.Links {
+		if got.Links[i] != l {
+			t.Errorf("link %d: %+v != %+v", i, got.Links[i], l)
+		}
+	}
+	for i, n := range nw.Nodes {
+		if got.Nodes[i] != n {
+			t.Errorf("node %d: %+v != %+v", i, got.Nodes[i], n)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"x","nodes":[{"id":0,"kind":"alien","pod":0,"index":0,"ports":1}]}`,
+		`{"name":"x","nodes":[{"id":5,"kind":"edge","pod":0,"index":0,"ports":1}]}`,
+		`{"name":"x","nodes":[{"id":0,"kind":"edge","pod":0,"index":0,"ports":4},
+		  {"id":1,"kind":"edge","pod":0,"index":1,"ports":4}],
+		  "links":[{"a":0,"b":9,"tag":"clos"}]}`,
+		`{"name":"x","nodes":[{"id":0,"kind":"edge","pod":0,"index":0,"ports":4},
+		  {"id":1,"kind":"edge","pod":0,"index":1,"ports":4}],
+		  "links":[{"a":0,"b":1,"tag":"wormhole"}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("t")
+	sw := b.AddNode(EdgeSwitch, 0, 0, 2)
+	s0 := b.AddNode(Server, 0, 0, 1)
+	s1 := b.AddNode(Server, 0, 1, 1)
+	b.AddLink(s0, sw, TagClos)
+	b.AddLink(s1, sw, TagClos)
+	nw := b.Build()
+	if nw.HostSwitch(s0) != sw || nw.HostSwitch(s1) != sw {
+		t.Error("host switches wrong")
+	}
+	if len(nw.HostedServers(sw)) != 2 {
+		t.Error("hosted servers wrong")
+	}
+	if err := nw.Validate(); err != nil {
+		t.Error(err)
+	}
+	if nw.PortsUsed(sw) != 2 {
+		t.Error("port accounting wrong")
+	}
+}
+
+func TestPortExhaustionPanics(t *testing.T) {
+	b := NewBuilder("t")
+	a := b.AddNode(EdgeSwitch, 0, 0, 1)
+	c := b.AddNode(EdgeSwitch, 0, 1, 2)
+	d := b.AddNode(EdgeSwitch, 0, 2, 2)
+	b.AddLink(a, c, TagClos)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on port exhaustion")
+		}
+	}()
+	b.AddLink(a, d, TagClos)
+}
+
+func TestSelfLinkPanics(t *testing.T) {
+	b := NewBuilder("t")
+	a := b.AddNode(EdgeSwitch, 0, 0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on self link")
+		}
+	}()
+	b.AddLink(a, a, TagClos)
+}
+
+func TestValidateDetachedServer(t *testing.T) {
+	b := NewBuilder("t")
+	b.AddNode(Server, 0, 0, 1)
+	sw := b.AddNode(EdgeSwitch, 0, 0, 2)
+	s1 := b.AddNode(Server, 0, 1, 1)
+	b.AddLink(s1, sw, TagClos)
+	if err := b.Build().Validate(); err == nil {
+		t.Error("detached server should fail validation")
+	}
+}
+
+func TestValidateServerToServer(t *testing.T) {
+	b := NewBuilder("t")
+	s0 := b.AddNode(Server, 0, 0, 1)
+	s1 := b.AddNode(Server, 0, 1, 1)
+	b.AddLink(s0, s1, TagClos)
+	if err := b.Build().Validate(); err == nil {
+		t.Error("server-to-server link should fail validation")
+	}
+}
+
+func TestStatsAndKinds(t *testing.T) {
+	b := NewBuilder("t")
+	core := b.AddNode(CoreSwitch, -1, 0, 4)
+	agg := b.AddNode(AggSwitch, 0, 0, 4)
+	edge := b.AddNode(EdgeSwitch, 0, 0, 4)
+	sv := b.AddNode(Server, 0, 0, 1)
+	b.AddLink(core, agg, TagClos)
+	b.AddLink(agg, edge, TagClos)
+	b.AddLink(edge, sv, TagClos)
+	nw := b.Build()
+	st := nw.Stats()
+	if st.Links != 3 || st.SwitchSwitchLinks != 2 || st.ServerLinks != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	ka, kb := nw.LinkEndpointKinds(nw.Links[0])
+	if ka != CoreSwitch || kb != AggSwitch {
+		t.Errorf("endpoint kinds = %s,%s", ka, kb)
+	}
+	ka, kb = nw.LinkEndpointKinds(nw.Links[2])
+	if ka != EdgeSwitch || kb != Server {
+		t.Errorf("endpoint kinds = %s,%s", ka, kb)
+	}
+	if !CoreSwitch.IsSwitch() || Server.IsSwitch() {
+		t.Error("IsSwitch wrong")
+	}
+}
+
+func TestNodesOfOrdering(t *testing.T) {
+	err := quick.Check(func(seed uint8) bool {
+		b := NewBuilder("q")
+		// Interleave node kinds; NodesOf must return ascending IDs.
+		kinds := []Kind{Server, EdgeSwitch, AggSwitch, CoreSwitch}
+		for i := 0; i < 20; i++ {
+			b.AddNode(kinds[(int(seed)+i)%4], 0, i, 8)
+		}
+		nw := b.Build()
+		for _, k := range kinds {
+			prev := -1
+			for _, id := range nw.NodesOf(k) {
+				if id <= prev {
+					return false
+				}
+				prev = id
+			}
+		}
+		sw := nw.Switches()
+		prev := -1
+		for _, id := range sw {
+			if id <= prev || nw.Nodes[id].Kind == Server {
+				return false
+			}
+			prev = id
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, k := range []Kind{Server, EdgeSwitch, AggSwitch, CoreSwitch, Kind(9)} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+	for _, tag := range []LinkTag{TagClos, TagConverter, TagSide, TagRandom, LinkTag(9)} {
+		if tag.String() == "" {
+			t.Error("empty tag string")
+		}
+	}
+}
