@@ -1,0 +1,57 @@
+// Command flatlint runs the repository's custom static-analysis pass over
+// the module's packages and reports violations of the correctness
+// invariants documented in DESIGN.md ("Static analysis & invariants"):
+//
+//	floatcmp    no == / != on floating-point operands
+//	globalrand  no package-global math/rand state
+//	layering    the internal package dependency DAG
+//	ignorederr  no discarded errors or dead blank assignments
+//	nopanic     no panics in library packages
+//
+// Usage:
+//
+//	go run ./cmd/flatlint ./...
+//	go run ./cmd/flatlint -C /path/to/module ./internal/ctrl
+//
+// Findings print one per line as "file:line: analyzer: message" and make
+// the tool exit 1; a clean run exits 0. Suppress a finding with
+// "//flatlint:ignore <analyzer> <reason>" on, or directly above, the
+// offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flattree/internal/flatlint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root directory (containing go.mod)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: flatlint [-C dir] [./... | ./pkg/path ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	// Package errors already carry the "flatlint:" prefix.
+	r, err := flatlint.NewRunner(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings, err := r.Run(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "flatlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

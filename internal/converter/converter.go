@@ -233,7 +233,6 @@ func Splice(convs []Converter) ([]EffectiveLink, error) {
 				mp := tables[ci][cp]
 				if mp < 0 {
 					// Open matching slot: the device's cable is dark.
-					ci = -1
 					break
 				}
 				cp = Port(mp)
@@ -241,12 +240,10 @@ func Splice(convs []Converter) ([]EffectiveLink, error) {
 				ep := convs[ci].Attach[cp]
 				if ep.IsNode() {
 					out = append(out, EffectiveLink{A: start, B: ep.Node, ViaSide: viaSide})
-					ci = -1
 					break
 				}
 				if !ep.IsConv() {
 					// Matched onto an uncabled port: wasted link.
-					ci = -1
 					break
 				}
 				if cp == PortSide1 || cp == PortSide2 {
@@ -254,7 +251,6 @@ func Splice(convs []Converter) ([]EffectiveLink, error) {
 				}
 				ci, cp = int(ep.Conv), ep.Port
 			}
-			_ = ci
 		}
 	}
 	return out, nil

@@ -308,7 +308,6 @@ func (ft *FlatTree) numberEquipment() {
 func (ft *FlatTree) convID(pod int, blade Blade, row, col int) int {
 	k, m, n := ft.Params.K, ft.Params.M, ft.Params.N
 	d := k / 2
-	_ = k
 	perPair := m + n
 	base := pod*d*perPair + col*perPair
 	if blade == BladeB {

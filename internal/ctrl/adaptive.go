@@ -47,10 +47,10 @@ type PodAdvice struct {
 // migrate workloads should prefer packing global-zone tenants into
 // adjacent pods, e.g. with PlanZoneModes.
 func Advise(ft *core.FlatTree, obs []FlowObservation, th AdviceThresholds) ([]core.Mode, []PodAdvice, error) {
-	if th.CrossPodFraction == 0 {
+	if th.CrossPodFraction == 0 { //flatlint:ignore floatcmp zero value means unset; exact by construction
 		th.CrossPodFraction = 0.5
 	}
-	if th.IdleFraction == 0 {
+	if th.IdleFraction == 0 { //flatlint:ignore floatcmp zero value means unset; exact by construction
 		th.IdleFraction = 0.05
 	}
 	k := ft.Params.K
@@ -101,6 +101,7 @@ func Advise(ft *core.FlatTree, obs []FlowObservation, th AdviceThresholds) ([]co
 			a.CrossFrac = bytesCross[p] / bytesTotal[p]
 		}
 		switch {
+		//flatlint:ignore floatcmp mean is exactly 0 iff no traffic was observed at all
 		case mean == 0 || bytesTotal[p] < th.IdleFraction*mean:
 			a.Recommends = core.ModeClos
 		case a.CrossFrac > th.CrossPodFraction:

@@ -22,6 +22,13 @@ type Controller struct {
 	inbox  chan event
 	reg    chan struct{} // closed and re-made on each registration
 
+	// abortErrs records the send failures from the most recent abort
+	// broadcast. An unreachable agent may still hold a staged epoch, so
+	// these must not vanish silently; monotone epoch issuance keeps the
+	// stale stage from ever committing, but operators (and tests) can see
+	// which pods missed the abort.
+	abortErrs []error
+
 	wg       sync.WaitGroup
 	listener net.Listener
 	closed   bool
@@ -170,6 +177,16 @@ func (c *Controller) WaitForAgents(ctx context.Context, n int) error {
 	}
 }
 
+// AbortSendErrors returns the send failures recorded during the most
+// recent abort broadcast, or nil if that abort reached every involved
+// agent (or no abort has run). Each entry names the pod whose agent could
+// not be told to discard its staged epoch.
+func (c *Controller) AbortSendErrors() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]error(nil), c.abortErrs...)
+}
+
 // Plan computes the per-pod configuration diffs needed to move the model
 // from its current modes to the target modes. Pods with no changes are
 // omitted. Plan has no side effects and needs no network.
@@ -228,9 +245,15 @@ func (c *Controller) Convert(ctx context.Context, modes []core.Mode) error {
 	}
 
 	abort := func() {
-		for _, a := range involved {
-			_ = a.send(MsgAbort, MarshalCommit(Commit{Epoch: epoch}))
+		var errs []error
+		for pod, a := range involved {
+			if err := a.send(MsgAbort, MarshalCommit(Commit{Epoch: epoch})); err != nil {
+				errs = append(errs, fmt.Errorf("ctrl: abort of epoch %d to pod %d: %w", epoch, pod, err))
+			}
 		}
+		c.mu.Lock()
+		c.abortErrs = errs
+		c.mu.Unlock()
 	}
 
 	// Phase 1: stage.

@@ -3,6 +3,7 @@ package ctrl
 import (
 	"context"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -273,4 +274,44 @@ func listenerAddr(c *Controller) string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.listener.Addr().String()
+}
+
+// TestAbortSendErrorsRecorded: when an abort broadcast cannot reach an
+// agent, the failure is recorded on the controller instead of being
+// silently discarded — that agent may still hold a staged epoch, and
+// operators need to see which pods missed the abort. (The stale stage can
+// never commit because epochs are issued monotonically.)
+func TestAbortSendErrorsRecorded(t *testing.T) {
+	k := 4
+	c, _, cleanup := startPlant(t, k)
+	defer cleanup()
+
+	if errs := c.AbortSendErrors(); errs != nil {
+		t.Fatalf("fresh controller has abort errors: %v", errs)
+	}
+
+	// Sever pod 1's controller-side connection. The stage send to pod 1
+	// then fails, triggering the abort broadcast, whose own send to pod 1
+	// also fails and must be recorded.
+	c.mu.Lock()
+	c.agents[1].conn.Close()
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Convert(ctx, uniformModes(k, core.ModeGlobalRandom)); err == nil {
+		t.Fatal("conversion over a severed connection should fail")
+	}
+	errs := c.AbortSendErrors()
+	if len(errs) == 0 {
+		t.Fatal("abort-send failure was not recorded")
+	}
+	for _, err := range errs {
+		if !strings.Contains(err.Error(), "pod 1") {
+			t.Errorf("abort error does not name the unreachable pod: %v", err)
+		}
+	}
+	if c.Epoch() != 0 {
+		t.Errorf("epoch advanced to %d on failed conversion", c.Epoch())
+	}
 }

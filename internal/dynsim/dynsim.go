@@ -364,7 +364,7 @@ func PoissonPairs(servers []int, rate, size float64, count int, rng *graph.RNG) 
 
 func expInterval(rate float64, rng *graph.RNG) float64 {
 	u := rng.Float64()
-	for u == 0 {
+	for u == 0 { //flatlint:ignore floatcmp rejects the exact 0.0 Float64 can return, so Log is finite
 		u = rng.Float64()
 	}
 	return -math.Log(u) / rate

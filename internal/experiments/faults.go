@@ -55,6 +55,7 @@ func Faults(cfg Config, k int) (*Table, error) {
 			}
 			conn /= float64(trials)
 			apl /= float64(trials)
+			//flatlint:ignore floatcmp apl is exactly 0 iff no trial found any finite path
 			if math.IsNaN(apl) || apl == 0 {
 				row = append(row, f3(conn), "-")
 			} else {

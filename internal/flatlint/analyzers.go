@@ -1,0 +1,334 @@
+package flatlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// analyzer is one named pass over a type-checked package. internalOnly
+// passes apply to internal/ library packages but not to cmd/, examples/,
+// or the module root, where the rules differ (a main may panic, an example
+// may drop an error on shutdown).
+type analyzer struct {
+	name         string
+	internalOnly bool
+	run          func(*pkgChecker)
+}
+
+var analyzers = []analyzer{
+	{name: "floatcmp", run: runFloatcmp},
+	{name: "globalrand", run: runGlobalrand},
+	{name: "layering", run: runLayering},
+	{name: "ignorederr", internalOnly: true, run: runIgnorederr},
+	{name: "nopanic", internalOnly: true, run: runNopanic},
+}
+
+var knownAnalyzers = func() map[string]bool {
+	m := map[string]bool{"directive": true}
+	for _, a := range analyzers {
+		m[a.name] = true
+	}
+	return m
+}()
+
+func analyzerNames() string {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// ---------------------------------------------------------------- floatcmp
+
+// epsilonHelper reports whether a function is an approved epsilon-
+// comparison helper, inside which exact float equality is the point (e.g.
+// the short-circuit `a == b ||` before a tolerance check). Approval is by
+// name so the helper is self-documenting at every call site.
+func epsilonHelper(name string) bool {
+	n := strings.ToLower(name)
+	return strings.Contains(n, "approxeq") || strings.Contains(n, "almosteq") ||
+		strings.Contains(n, "withineps") || strings.Contains(n, "floateq")
+}
+
+// runFloatcmp flags == and != where either operand is floating point (or
+// complex). Exact float equality is almost never what a numeric simulator
+// wants: FPTAS/LP cross-validation tolerances, link utilizations, and
+// throughput fractions all accumulate rounding. Comparisons belong in an
+// epsilon helper; genuinely-exact sentinel checks carry an ignore
+// directive explaining why exactness holds.
+func runFloatcmp(pc *pkgChecker) {
+	info := pc.pkg.Info
+	for _, f := range pc.pkg.Files {
+		// Body ranges of approved helpers; function literals nested inside
+		// a helper inherit its approval by position containment.
+		type span struct{ lo, hi token.Pos }
+		var approved []span
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && epsilonHelper(fd.Name.Name) {
+				approved = append(approved, span{fd.Body.Pos(), fd.Body.End()})
+			}
+		}
+		inHelper := func(p token.Pos) bool {
+			for _, s := range approved {
+				if s.lo <= p && p < s.hi {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if inHelper(cmp.OpPos) {
+				return true
+			}
+			if isFloat(info.TypeOf(cmp.X)) || isFloat(info.TypeOf(cmp.Y)) {
+				pc.reportf("floatcmp", cmp.OpPos,
+					"%s on floating-point operands; use an epsilon comparison", cmp.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// -------------------------------------------------------------- globalrand
+
+// globalrandConstructors are the math/rand package-level functions that
+// build a locally-owned generator rather than touching shared global
+// state; they are the approved escape hatch.
+var globalrandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// runGlobalrand forbids the package-global math/rand (and math/rand/v2)
+// functions. Topology construction and experiment trials must be
+// reproducible from an explicit seed, which global rand state breaks: any
+// other call site advances the shared stream and silently changes every
+// subsequent "random" topology. Constructors (rand.New, rand.NewSource,
+// ...) are allowed; so is this repo's own injected graph.RNG.
+func runGlobalrand(pc *pkgChecker) {
+	info := pc.pkg.Info
+	for _, f := range pc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			pkgPath := obj.Pkg().Path()
+			if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+				return true
+			}
+			// Only package-scope objects are global state; methods on a
+			// *rand.Rand value (obj parent != package scope) are fine.
+			if obj.Parent() != obj.Pkg().Scope() {
+				return true
+			}
+			if _, isFn := obj.(*types.Func); isFn && globalrandConstructors[obj.Name()] {
+				return true
+			}
+			pc.reportf("globalrand", sel.Pos(),
+				"package-global %s.%s breaks seeded reproducibility; inject a *rand.Rand (or graph.RNG)",
+				pkgPath, obj.Name())
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------- layering
+
+// layerOf assigns every internal package a layer in the dependency DAG.
+// An import is legal only from a higher layer to a strictly lower one:
+//
+//	layer 0: converter, graph, lp, flatlint   (leaf utilities, std-lib only)
+//	layer 1: topo                             (labeled topology model)
+//	layer 2: core, fattree, faults, jellyfish, mcf, metrics, routing
+//	layer 3: dynsim, flowsim, pktsim, traffic, twostage (simulators)
+//	layer 4: ctrl, experiments                (orchestration)
+//
+// cmd/, examples/, and the module root sit above every layer and may
+// import anything. A new internal package must be added here before it can
+// be imported, so the DAG stays a reviewed, explicit artifact.
+var layerOf = map[string]int{
+	"internal/converter":   0,
+	"internal/flatlint":    0,
+	"internal/graph":       0,
+	"internal/lp":          0,
+	"internal/topo":        1,
+	"internal/core":        2,
+	"internal/fattree":     2,
+	"internal/faults":      2,
+	"internal/jellyfish":   2,
+	"internal/mcf":         2,
+	"internal/metrics":     2,
+	"internal/routing":     2,
+	"internal/dynsim":      3,
+	"internal/flowsim":     3,
+	"internal/pktsim":      3,
+	"internal/traffic":     3,
+	"internal/twostage":    3,
+	"internal/ctrl":        4,
+	"internal/experiments": 4,
+}
+
+// runLayering enforces the package dependency DAG above.
+func runLayering(pc *pkgChecker) {
+	rel := pc.pkg.RelPath
+	fromLayer, fromKnown := layerOf[rel]
+	if strings.HasPrefix(rel, "internal/") && !fromKnown {
+		pc.reportf("layering", pc.pkg.Files[0].Package,
+			"package %s is not in the layering table; add it to layerOf in internal/flatlint/analyzers.go", rel)
+		return
+	}
+	module := pc.r.module
+	for _, f := range pc.pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if !strings.HasPrefix(path, module+"/") {
+				continue
+			}
+			impRel := strings.TrimPrefix(path, module+"/")
+			toLayer, toKnown := layerOf[impRel]
+			if strings.HasPrefix(impRel, "internal/") && !toKnown {
+				pc.reportf("layering", imp.Pos(),
+					"import of %s, which is not in the layering table", impRel)
+				continue
+			}
+			if !fromKnown || !toKnown {
+				continue // importer is cmd/examples/root: unrestricted
+			}
+			if toLayer >= fromLayer {
+				pc.reportf("layering", imp.Pos(),
+					"%s (layer %d) may not import %s (layer %d); the dependency DAG only allows imports of strictly lower layers",
+					rel, fromLayer, impRel, toLayer)
+			}
+		}
+	}
+}
+
+// -------------------------------------------------------------- ignorederr
+
+// runIgnorederr flags blank assignments that throw information away in
+// library code: `_ = f()` where f returns an error (the error must be
+// handled, recorded, or explicitly waived with a reasoned directive), and
+// `_ = x` of a bare identifier (a dead assignment that only exists to
+// quiet the compiler about an unused value — delete the value instead).
+func runIgnorederr(pc *pkgChecker) {
+	info := pc.pkg.Info
+	for _, f := range pc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					return true
+				}
+			}
+			// All-blank plain assignment. What is being discarded?
+			if len(as.Rhs) == 1 {
+				switch rhs := as.Rhs[0].(type) {
+				case *ast.CallExpr:
+					if returnsError(info, rhs) {
+						pc.reportf("ignorederr", as.Pos(),
+							"error from %s discarded with _ =; handle or record it", callName(rhs))
+					}
+					return true
+				case *ast.Ident:
+					pc.reportf("ignorederr", as.Pos(),
+						"dead assignment _ = %s; remove the unused value", rhs.Name)
+					return true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether call's result type is or contains error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorIface = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorIface)
+}
+
+// callName renders a call target for a message ("a.send", "doWork").
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			return x.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	default:
+		return "call"
+	}
+}
+
+// ----------------------------------------------------------------- nopanic
+
+// runNopanic flags panic calls in internal library packages. Library code
+// should return errors so callers (experiments, the control plane) can
+// degrade gracefully; the approved exceptions — construction-invariant
+// panics that indicate a programmer error no caller could recover from —
+// each carry an ignore directive stating the invariant.
+func runNopanic(pc *pkgChecker) {
+	info := pc.pkg.Info
+	for _, f := range pc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			pc.reportf("nopanic", call.Pos(),
+				"panic in library package %s; return an error instead", pc.pkg.RelPath)
+			return true
+		})
+	}
+}

@@ -1,0 +1,425 @@
+// Package flatlint is the repository's custom static-analysis pass. It
+// loads every package in the module using only the standard library
+// (go/parser + go/types with a source importer for the standard library)
+// and runs a table of repo-specific analyzers that machine-check the
+// correctness invariants the Flat-tree reproduction depends on: no exact
+// float equality in the numerics, no package-global randomness, a strict
+// package layering DAG, no silently discarded errors, and no panics in
+// library code.
+//
+// Findings print as "file:line: analyzer: message" with paths relative to
+// the module root. A finding can be suppressed with a directive comment
+//
+//	//flatlint:ignore <analyzer> <reason>
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The reason is mandatory: a directive without one is
+// itself a finding, so every suppression carries its justification in the
+// source.
+package flatlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, already positioned.
+type Finding struct {
+	File     string // path relative to the module root
+	Line     int
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Analyzer, f.Message)
+}
+
+// Pkg is one loaded, type-checked package.
+type Pkg struct {
+	Path    string // full import path ("flattree/internal/graph")
+	RelPath string // path relative to the module ("internal/graph"; "" for root)
+	Dir     string
+	Files   []*ast.File
+	Fset    *token.FileSet
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Runner loads and checks the packages of a single module.
+type Runner struct {
+	root   string // absolute module root
+	module string // module path from go.mod
+
+	fset    *token.FileSet
+	pkgDirs map[string]string // import path -> absolute dir
+	loaded  map[string]*Pkg
+	loading map[string]bool // import-cycle guard
+	std     types.Importer
+}
+
+// NewRunner prepares a runner for the module rooted at dir (the directory
+// containing go.mod).
+func NewRunner(dir string) (*Runner, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks the standard library from GOROOT
+	// source; disable cgo so packages like net resolve via their pure-Go
+	// fallbacks instead of failing on cgo preprocessing.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	r := &Runner{
+		root:    abs,
+		module:  module,
+		fset:    fset,
+		pkgDirs: make(map[string]string),
+		loaded:  make(map[string]*Pkg),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	if err := r.discover(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("flatlint: reading module file: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("flatlint: no module directive in %s", gomod)
+}
+
+// discover maps every package directory in the module to its import path.
+// testdata, vendor, hidden, and underscore-prefixed directories are
+// skipped, matching the go tool's conventions.
+func (r *Runner) discover() error {
+	return filepath.WalkDir(r.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != r.root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(r.root, path)
+				if err != nil {
+					return err
+				}
+				ip := r.module
+				if rel != "." {
+					ip = r.module + "/" + filepath.ToSlash(rel)
+				}
+				r.pkgDirs[ip] = path
+				break
+			}
+		}
+		return nil
+	})
+}
+
+// Packages returns the sorted import paths of every package in the module.
+func (r *Runner) Packages() []string {
+	paths := make([]string, 0, len(r.pkgDirs))
+	for p := range r.pkgDirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Import resolves an import path for the type checker: module-local
+// packages are loaded recursively from source, everything else is handed
+// to the standard-library importer.
+func (r *Runner) Import(path string) (*types.Package, error) {
+	if path == r.module || strings.HasPrefix(path, r.module+"/") {
+		pkg, err := r.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return r.std.Import(path)
+}
+
+// load parses and type-checks one module-local package (memoized). Test
+// files are excluded: flatlint checks the library and binary surface, and
+// _test.go files may form external test packages that need different
+// loading rules.
+func (r *Runner) load(path string) (*Pkg, error) {
+	if pkg, ok := r.loaded[path]; ok {
+		return pkg, nil
+	}
+	if r.loading[path] {
+		return nil, fmt.Errorf("flatlint: import cycle through %q", path)
+	}
+	r.loading[path] = true
+	defer delete(r.loading, path)
+
+	dir, ok := r.pkgDirs[path]
+	if !ok {
+		return nil, fmt.Errorf("flatlint: no package %q in module %s", path, r.module)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(r.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("flatlint: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: r}
+	tpkg, err := conf.Check(path, r.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("flatlint: type-checking %s: %w", path, err)
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, r.module), "/")
+	pkg := &Pkg{
+		Path:    path,
+		RelPath: rel,
+		Dir:     dir,
+		Files:   files,
+		Fset:    r.fset,
+		Types:   tpkg,
+		Info:    info,
+	}
+	r.loaded[path] = pkg
+	return pkg, nil
+}
+
+// Run loads every package matched by patterns and runs all analyzers.
+// Supported patterns: "./..." (every package in the module) or a
+// "./"-prefixed package directory. With no patterns, "./..." is assumed.
+// Findings return sorted by file, line, then analyzer; suppressed and
+// directive-consumed findings are already filtered out.
+func (r *Runner) Run(patterns []string) ([]Finding, error) {
+	paths, err := r.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, path := range paths {
+		pkg, err := r.load(path)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, r.check(pkg)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}
+
+func (r *Runner) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			for _, p := range r.Packages() {
+				add(p)
+			}
+		default:
+			rel := filepath.ToSlash(strings.TrimPrefix(strings.TrimPrefix(pat, "./"), "/"))
+			ip := r.module
+			if rel != "" && rel != "." {
+				ip = r.module + "/" + rel
+			}
+			if _, ok := r.pkgDirs[ip]; !ok {
+				return nil, fmt.Errorf("flatlint: pattern %q matches no package in %s", pat, r.module)
+			}
+			add(ip)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// check runs every analyzer on one package and applies ignore directives.
+func (r *Runner) check(pkg *Pkg) []Finding {
+	pc := &pkgChecker{r: r, pkg: pkg}
+	pc.collectDirectives()
+	for _, a := range analyzers {
+		if a.internalOnly && !strings.HasPrefix(pkg.RelPath, "internal/") {
+			continue
+		}
+		a.run(pc)
+	}
+	return pc.finish()
+}
+
+// directive is one parsed //flatlint:ignore comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// pkgChecker carries per-package analysis state and finding collection.
+type pkgChecker struct {
+	r          *Runner
+	pkg        *Pkg
+	findings   []Finding
+	directives []*directive
+}
+
+// relFile converts a token.Pos to a (module-relative file, line) pair.
+func (pc *pkgChecker) relFile(pos token.Pos) (string, int) {
+	p := pc.pkg.Fset.Position(pos)
+	rel, err := filepath.Rel(pc.r.root, p.Filename)
+	if err != nil {
+		rel = p.Filename
+	}
+	return filepath.ToSlash(rel), p.Line
+}
+
+// reportf records a finding for analyzer at pos.
+func (pc *pkgChecker) reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	file, line := pc.relFile(pos)
+	pc.findings = append(pc.findings, Finding{
+		File:     file,
+		Line:     line,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+const ignorePrefix = "//flatlint:ignore"
+
+// collectDirectives parses every //flatlint:ignore comment in the package.
+// Malformed directives (missing analyzer, unknown analyzer, or missing
+// reason) are reported as findings of the "directive" pseudo-analyzer so a
+// suppression can never silently fail to apply.
+func (pc *pkgChecker) collectDirectives() {
+	for _, f := range pc.pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				file, line := pc.relFile(c.Pos())
+				if len(fields) == 0 || !knownAnalyzers[fields[0]] {
+					pc.reportf("directive", c.Pos(),
+						"ignore directive needs a known analyzer (one of %s)", analyzerNames())
+					continue
+				}
+				if len(fields) < 2 {
+					pc.reportf("directive", c.Pos(),
+						"ignore directive for %q needs a reason", fields[0])
+					continue
+				}
+				pc.directives = append(pc.directives, &directive{
+					file:     file,
+					line:     line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+}
+
+// finish applies suppressions and reports unused directives. A directive
+// suppresses findings of its analyzer on its own line or the line directly
+// below (the standalone-comment-above form).
+func (pc *pkgChecker) finish() []Finding {
+	var out []Finding
+	for _, f := range pc.findings {
+		suppressed := false
+		for _, d := range pc.directives {
+			if d.analyzer == f.Analyzer && d.file == f.File &&
+				(d.line == f.Line || d.line == f.Line-1) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, d := range pc.directives {
+		if !d.used {
+			out = append(out, Finding{
+				File:     d.file,
+				Line:     d.line,
+				Analyzer: "directive",
+				Message:  fmt.Sprintf("unused ignore directive for %q (no matching finding)", d.analyzer),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package flatlint
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const fixtureDir = "testdata/src/flattree"
+
+// TestFixturesGolden runs every analyzer over the fixture module — one
+// intentionally-bad file per analyzer plus a clean one — and asserts the
+// exact findings. The fixtures also exercise suppression: each bad file
+// contains one directive-waived violation that must NOT appear here, and
+// the baddirective fixture asserts that malformed or unused directives are
+// themselves findings.
+func TestFixturesGolden(t *testing.T) {
+	r, err := NewRunner(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := r.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	for _, f := range findings {
+		got.WriteString(f.String())
+		got.WriteByte('\n')
+	}
+	want, err := os.ReadFile("testdata/expect.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("fixture findings diverge from golden file\n--- got ---\n%s--- want ---\n%s", got.String(), want)
+	}
+}
+
+// TestFixtureEveryAnalyzerFires guards the golden file itself: if an
+// analyzer is added without a fixture (or a fixture rots), this fails even
+// though the golden comparison would still pass.
+func TestFixtureEveryAnalyzerFires(t *testing.T) {
+	r, err := NewRunner(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := r.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(map[string]bool)
+	for _, f := range findings {
+		fired[f.Analyzer] = true
+	}
+	for name := range knownAnalyzers {
+		if !fired[name] {
+			t.Errorf("analyzer %q produced no fixture finding; add a bad fixture for it", name)
+		}
+	}
+}
+
+// TestPatternSelectsPackage checks that a ./pkg pattern restricts the run
+// to that package.
+func TestPatternSelectsPackage(t *testing.T) {
+	r, err := NewRunner(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := r.Run([]string{"./internal/mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings for ./internal/mcf, want 1: %v", len(findings), findings)
+	}
+	if f := findings[0]; f.Analyzer != "nopanic" || f.File != "internal/mcf/bad_panic.go" {
+		t.Errorf("unexpected finding %v", f)
+	}
+	if _, err := r.Run([]string{"./no/such/pkg"}); err == nil {
+		t.Error("pattern for a missing package should error")
+	}
+}
+
+// TestRepoIsClean is the gate that makes flatlint part of tier-1 verify:
+// the repository's own packages must type-check and produce zero
+// unsuppressed findings. If this fails, either fix the reported code or
+// add a reasoned //flatlint:ignore directive.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short mode")
+	}
+	r, err := NewRunner("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := r.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,3 @@
+module flattree
+
+go 1.22

@@ -1,0 +1,22 @@
+// Package core is the ignorederr fixture: discarded errors and dead blank
+// assignments in library code must be flagged.
+package core
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+// Drop discards the error and is flagged.
+func Drop() {
+	_ = work()
+}
+
+// Dead only exists to quiet the compiler and is flagged.
+func Dead(x int) {
+	_ = x
+}
+
+// Waived carries a reasoned directive and is suppressed.
+func Waived() {
+	_ = work() //flatlint:ignore ignorederr fixture: error is unactionable here
+}

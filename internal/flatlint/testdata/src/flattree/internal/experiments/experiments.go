@@ -1,0 +1,6 @@
+// Package experiments is a clean top-layer package that the layering
+// fixture in internal/topo illegally imports.
+package experiments
+
+// Name identifies the package.
+func Name() string { return "experiments" }

@@ -1,0 +1,24 @@
+// Package graph is the globalrand fixture: package-global math/rand state
+// must be flagged; locally-owned generators built via the constructors are
+// allowed.
+package graph
+
+import "math/rand"
+
+// GlobalShuffle advances the shared global stream and is flagged.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// SeededPerm owns its generator and is not flagged: rand.New and
+// rand.NewSource are approved constructors, and Perm is a method on the
+// local *rand.Rand, not global state.
+func SeededPerm(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Perm(n)
+}
+
+// WaivedInt carries a reasoned directive and is suppressed.
+func WaivedInt() int {
+	return rand.Int() //flatlint:ignore globalrand fixture: demonstrates suppression
+}

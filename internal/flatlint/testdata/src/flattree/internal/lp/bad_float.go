@@ -1,0 +1,26 @@
+// Package lp is the floatcmp fixture: exact float comparisons outside an
+// approved epsilon helper must be flagged; inside one they are allowed.
+package lp
+
+import "math"
+
+// Eq compares exactly and is flagged.
+func Eq(a, b float64) bool { return a == b }
+
+// Ne compares exactly on float32 and is flagged.
+func Ne(a, b float32) bool { return a != b }
+
+// approxEqual is an approved epsilon helper by name: the exact
+// short-circuit before the tolerance check is the point and is not
+// flagged.
+func approxEqual(a, b, eps float64) bool {
+	return a == b || math.Abs(a-b) <= eps
+}
+
+// Sentinel carries a reasoned directive and is suppressed.
+func Sentinel(a float64) bool {
+	return a == 0 //flatlint:ignore floatcmp fixture: zero is an exact sentinel here
+}
+
+// UseHelper keeps approxEqual referenced.
+func UseHelper(a, b float64) bool { return approxEqual(a, b, 1e-9) }

@@ -1,0 +1,16 @@
+// Package mcf is the nopanic fixture: panics in library packages must be
+// flagged unless annotated as a documented invariant.
+package mcf
+
+// Explode panics in library code and is flagged.
+func Explode() {
+	panic("mcf: exploded")
+}
+
+// Invariant documents why it may panic and is suppressed.
+func Invariant(n int) {
+	if n < 0 {
+		//flatlint:ignore nopanic fixture: documented invariant
+		panic("mcf: negative n")
+	}
+}

@@ -1,0 +1,16 @@
+package metrics
+
+// The directives in this file are malformed or unused; each produces a
+// finding of the "directive" pseudo-analyzer, so a typo in a suppression
+// can never silently disable it.
+
+//flatlint:ignore nosuchanalyzer because reasons
+func Unknown() {}
+
+//flatlint:ignore nopanic
+func MissingReason() {}
+
+// Unused has a well-formed directive with no matching finding.
+func Unused() int {
+	return 1 //flatlint:ignore floatcmp fixture: nothing to suppress here
+}

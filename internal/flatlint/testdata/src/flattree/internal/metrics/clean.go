@@ -1,0 +1,11 @@
+// Package metrics is the clean fixture: nothing in this file should be
+// flagged by any analyzer.
+package metrics
+
+import "math"
+
+// Close reports whether a and b agree within tol, the way float
+// comparisons should be written.
+func Close(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

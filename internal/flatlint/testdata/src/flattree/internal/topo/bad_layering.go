@@ -1,0 +1,8 @@
+// Package topo is the layering fixture: topo sits at layer 1 and may not
+// import the layer-4 experiments package.
+package topo
+
+import "flattree/internal/experiments"
+
+// Report pulls a higher layer downward and is flagged.
+func Report() string { return experiments.Name() }

@@ -70,9 +70,11 @@ func (g *Graph) AddNodes(k int) int {
 // hide wiring bugs.
 func (g *Graph) AddEdge(a, b int) int {
 	if a == b {
+		//flatlint:ignore nopanic documented construction invariant: a silent error return would hide wiring bugs
 		panic(fmt.Sprintf("graph: self loop at node %d", a))
 	}
 	if a < 0 || b < 0 || a >= len(g.adj) || b >= len(g.adj) {
+		//flatlint:ignore nopanic documented construction invariant: a silent error return would hide wiring bugs
 		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", a, b, len(g.adj)))
 	}
 	id := len(g.edges)

@@ -27,6 +27,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//flatlint:ignore nopanic mirrors math/rand.Intn's contract; a non-positive bound is a programmer error
 		panic("graph: Intn with non-positive bound")
 	}
 	// Lemire's nearly-divisionless bounded generation is overkill here;

@@ -183,6 +183,7 @@ func (g *Graph) removeEdgeBetween(u, w int) {
 		}
 	}
 	if id < 0 {
+		//flatlint:ignore nopanic internal invariant: callers pass endpoints read from the adjacency lists
 		panic(fmt.Sprintf("graph: removeEdgeBetween(%d,%d): no such edge", u, w))
 	}
 	g.dropHalf(u, id)
@@ -206,6 +207,7 @@ func (g *Graph) dropHalf(v int, edge int32) {
 			return
 		}
 	}
+	//flatlint:ignore nopanic internal invariant: the half-edge was just located via the edge table
 	panic("graph: dropHalf: edge not found")
 }
 
@@ -217,5 +219,6 @@ func (g *Graph) retargetHalf(v int, from, to int32) {
 			return
 		}
 	}
+	//flatlint:ignore nopanic internal invariant: the half-edge was just located via the edge table
 	panic("graph: retargetHalf: edge not found")
 }

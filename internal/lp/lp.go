@@ -87,9 +87,10 @@ func (p *Problem) AddConstraint(coefs map[int]float64, sense Sense, rhs float64)
 	cp := make(map[int]float64, len(coefs))
 	for v, c := range coefs {
 		if v < 0 || v >= p.numVars {
+			//flatlint:ignore nopanic out-of-range variable index is a programmer error in problem construction
 			panic(fmt.Sprintf("lp: constraint references variable %d of %d", v, p.numVars))
 		}
-		if c != 0 {
+		if c != 0 { //flatlint:ignore floatcmp prunes coefficients that are structurally absent (exact zero)
 			cp[v] = c
 		}
 	}
@@ -194,7 +195,7 @@ func (p *Problem) Solve() (Solution, error) {
 				continue
 			}
 			f := t[i][col]
-			if f == 0 {
+			if f == 0 { //flatlint:ignore floatcmp skipping exact zeros is a sparsity optimization, not a tolerance
 				continue
 			}
 			ri := t[i]
@@ -224,7 +225,7 @@ func (p *Problem) Solve() (Solution, error) {
 				rc := cost[j]
 				for i := 0; i < m; i++ {
 					cb := cost[basis[i]]
-					if cb != 0 {
+					if cb != 0 { //flatlint:ignore floatcmp skipping exact zeros is a sparsity optimization, not a tolerance
 						rc -= cb * t[i][j]
 					}
 				}

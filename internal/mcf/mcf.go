@@ -63,6 +63,7 @@ type Result struct {
 // DualGap returns UpperBound/Lambda - 1, the proven relative optimality
 // gap, or +Inf when the bound was not computed.
 func (r Result) DualGap() float64 {
+	//flatlint:ignore floatcmp Lambda is exactly 0 iff the solver routed nothing
 	if math.IsInf(r.UpperBound, 1) || r.Lambda == 0 {
 		return math.Inf(1)
 	}
@@ -351,7 +352,7 @@ func (p *problem) probeScale() float64 {
 			maxLoad = r
 		}
 	}
-	if maxLoad == 0 {
+	if maxLoad == 0 { //flatlint:ignore floatcmp exactly 0 iff no edge carries any flow; guards the division below
 		return 1
 	}
 	return 1 / maxLoad

@@ -83,6 +83,7 @@ type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
+	//flatlint:ignore floatcmp deterministic ordering: only bit-identical times fall through to the seq tie-break
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}
@@ -107,7 +108,7 @@ func Simulate(nw *topo.Network, table *routing.Table, packets []Packet, cfg Conf
 	if cfg.PropDelay < 0 {
 		return Result{}, fmt.Errorf("pktsim: negative propagation delay")
 	}
-	if cfg.PropDelay == 0 {
+	if cfg.PropDelay == 0 { //flatlint:ignore floatcmp zero value means unset; exact by construction
 		cfg.PropDelay = 0.05
 	}
 	if cfg.HopLimit <= 0 {
@@ -212,8 +213,8 @@ func Simulate(nw *topo.Network, table *routing.Table, packets []Packet, cfg Conf
 	sorted := append([]Packet(nil), packets...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
 	for i := range sorted {
-		src, err := hostOf(sorted[i].Src)
-		if err != nil {
+		// Validate the source host up front so injection can't fail later.
+		if _, err := hostOf(sorted[i].Src); err != nil {
 			return res, err
 		}
 		dst, err := hostOf(sorted[i].Dst)
@@ -221,7 +222,6 @@ func Simulate(nw *topo.Network, table *routing.Table, packets []Packet, cfg Conf
 			return res, err
 		}
 		p := &pkt{Packet: sorted[i], dstSwitch: dst}
-		_ = src
 		push(&event{time: sorted[i].Time, kind: 0, pkt: p})
 	}
 	res.Sent = len(sorted)
@@ -288,7 +288,7 @@ func PoissonPackets(servers []int, rate float64, count, flowPkts int, rng *graph
 	var flow uint64
 	for i := 0; i < count; i++ {
 		u := rng.Float64()
-		for u == 0 {
+		for u == 0 { //flatlint:ignore floatcmp rejects the exact 0.0 Float64 can return, so Log is finite
 			u = rng.Float64()
 		}
 		t += -math.Log(u) / rate

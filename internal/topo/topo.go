@@ -196,13 +196,16 @@ func (b *Builder) AddNode(kind Kind, pod, index, ports int) int {
 // builders must be correct by construction.
 func (b *Builder) AddLink(a, bb int, tag LinkTag) int {
 	if a == bb {
+		//flatlint:ignore nopanic documented construction invariant: builders must be correct by construction
 		panic(fmt.Sprintf("topo: self link at node %d", a))
 	}
 	for _, v := range [2]int{a, bb} {
 		if v < 0 || v >= len(b.nodes) {
+			//flatlint:ignore nopanic documented construction invariant: builders must be correct by construction
 			panic(fmt.Sprintf("topo: link endpoint %d out of range", v))
 		}
 		if b.used[v] >= b.nodes[v].Ports {
+			//flatlint:ignore nopanic documented construction invariant: builders must be correct by construction
 			panic(fmt.Sprintf("topo: node %d (%s pod=%d idx=%d) out of ports (%d)",
 				v, b.nodes[v].Kind, b.nodes[v].Pod, b.nodes[v].Index, b.nodes[v].Ports))
 		}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# check.sh is the repository's tier-1 verification gate: build, go vet,
+# gofmt, the custom flatlint static-analysis pass, the unit tests, and the
+# race detector on the concurrent packages (the ctrl control plane spawns
+# per-connection goroutines; dynsim drives it under load). CI and local
+# development both run exactly this script:
+#
+#	./scripts/check.sh
+#
+# Every step must pass; the first failure stops the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l . | grep -v '^internal/flatlint/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== flatlint"
+go run ./cmd/flatlint ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race ./internal/ctrl/... ./internal/dynsim/...
+
+echo "ok: all checks passed"
