@@ -42,6 +42,9 @@ func cfgUpTo(kmax int, eps float64) experiments.Config {
 // metrics.
 func reportLast(b *testing.B, t *experiments.Table, cols map[string]int) {
 	b.Helper()
+	if len(t.Rows) == 0 {
+		b.Fatalf("table %q has no rows; the sweep produced no data", t.Title)
+	}
 	row := t.Rows[len(t.Rows)-1]
 	for name, idx := range cols {
 		v, err := strconv.ParseFloat(row[idx], 64)
@@ -143,7 +146,7 @@ func BenchmarkHybrid(b *testing.B) {
 // BenchmarkProfile runs the §2.4 (m, n) profiling procedure at k=16.
 func BenchmarkProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, res, err := experiments.Profile(16)
+		_, res, err := experiments.Profile(cfgUpTo(16, 0.1), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -443,12 +446,20 @@ func BenchmarkAPL(b *testing.B) {
 				b.Fatal(err)
 			}
 			nw := ft.Net()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := metrics.ServerPathLengths(nw); err != nil {
-					b.Fatal(err)
+			b.Run("seq", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := metrics.ServerPathLengths(nw); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
+			})
+			b.Run("par", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := metrics.ServerPathLengthsParallel(nw, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		})
 	}
 }

@@ -38,6 +38,7 @@ func main() {
 		hybridk = flag.Int("hybridk", cfg.HybridK, "network size for the hybrid experiment (paper: 30)")
 		profk   = flag.Int("profilek", 16, "network size for the profiling experiment")
 		trials  = flag.Int("trials", 1, "average randomized experiments over this many seeds")
+		par     = flag.Int("parallel", 0, "worker goroutines per experiment sweep (0 = all cores); output is identical for every setting")
 		tsv     = flag.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
 		expK    = flag.Int("exportk", 4, "network size for the export subcommand")
 		expMode = flag.String("exportmode", "global-random", "flat-tree mode for the export subcommand")
@@ -51,6 +52,7 @@ func main() {
 	cfg.KMin, cfg.KMax, cfg.KStep = *kmin, *kmax, *kstep
 	cfg.Seed, cfg.Epsilon, cfg.HybridK = *seed, *eps, *hybridk
 	cfg.Trials = *trials
+	cfg.Parallelism = *par
 
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -92,7 +94,7 @@ func main() {
 			check(err)
 			emit(t)
 		case "profile":
-			t, res, err := experiments.Profile(*profk)
+			t, res, err := experiments.Profile(cfg, *profk)
 			check(err)
 			emit(t)
 			fmt.Printf("best: m=%d n=%d apl=%.3f (paper's default: m=%d n=%d)\n",

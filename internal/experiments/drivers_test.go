@@ -15,17 +15,22 @@ func TestFaultsDriver(t *testing.T) {
 	if len(tab.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
-	// Zero-failure row: all topologies fully connected, APLs match the
-	// known figure-5/6 ballpark.
+	// Zero-failure row: all topologies fully connected with no disconnected
+	// trials, APLs match the known figure-5/6 ballpark.
 	base := tab.Rows[0]
-	for _, col := range []int{1, 3, 5} {
+	for _, col := range []int{1, 4, 7} {
 		if base[col] != "1.000" {
 			t.Errorf("zero-failure connectivity = %q", base[col])
 		}
 	}
+	for _, col := range []int{3, 6, 9} {
+		if base[col] != "0" {
+			t.Errorf("zero-failure disconnected-trial count = %q", base[col])
+		}
+	}
 	// APL must be monotone non-decreasing in the failure fraction for
 	// every topology (connectivity held at these fractions).
-	for _, col := range []int{2, 4, 6} {
+	for _, col := range []int{2, 5, 8} {
 		prev := 0.0
 		for i, row := range tab.Rows {
 			v, err := strconv.ParseFloat(row[col], 64)

@@ -3,6 +3,13 @@
 // series — the same rows the paper plots — over configurable k sweeps, and
 // returns them as a Table that cmd/flatsim prints and the root benchmarks
 // execute. EXPERIMENTS.md records measured-vs-paper shapes.
+//
+// The sweeps are embarrassingly parallel: every (k, topology, placement,
+// trial) cell is an independent pure computation. Drivers therefore fan
+// their cells out through internal/parallel and merge results in index
+// order, which makes every table byte-identical for any Config.Parallelism
+// setting — `-parallel 1` and `-parallel N` print the same bytes, N just
+// gets there sooner.
 package experiments
 
 import (
@@ -13,6 +20,7 @@ import (
 	"flattree/internal/core"
 	"flattree/internal/fattree"
 	"flattree/internal/jellyfish"
+	"flattree/internal/parallel"
 	"flattree/internal/topo"
 	"flattree/internal/twostage"
 )
@@ -32,7 +40,35 @@ type Config struct {
 	// Trials averages randomized experiments (throughput placements,
 	// failure injection) over this many seeds; 0 or 1 means a single run.
 	Trials int
+	// Parallelism caps the worker goroutines each driver fans out over its
+	// (k, topology, trial) cells; 0 or negative selects GOMAXPROCS. Table
+	// output is byte-identical for every setting — the knob only trades
+	// wall-clock time for CPU.
+	Parallelism int
 }
+
+// trials returns the effective number of randomized runs: Trials when
+// positive, otherwise 1. Every driver that averages over seeds goes through
+// this one accessor, so a given Config means the same number of runs
+// everywhere. (Historically throughput averaging defaulted to 1 while
+// Faults silently defaulted to 3, so "the same" Config ran different
+// experiment shapes.)
+func (c Config) trials() int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return 1
+}
+
+// workers resolves the Parallelism knob to an effective worker count.
+func (c Config) workers() int { return parallel.Workers(c.Parallelism) }
+
+// trialSeeds returns the per-trial seed stream for this config. Seeds are
+// SplitMix64 hashes of (Seed, trial), so trials are decorrelated even
+// across nearby base seeds, and every topology/placement cell of one run
+// sees the same trial-seed sequence (paired comparisons, as the paper's
+// averaged figures require).
+func (c Config) trialSeeds() parallel.SeedStream { return parallel.NewSeedStream(c.Seed) }
 
 // DefaultConfig mirrors the paper's sweep at a scale suitable for a laptop
 // run; cmd/flatsim flags raise it to the paper's full k=32.

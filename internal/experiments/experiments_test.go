@@ -151,7 +151,7 @@ func TestHybridNoInterference(t *testing.T) {
 // TestProfileFindsPaperOptimum: the §2.4 profiling procedure should land on
 // (or tie with) the paper's (k/8, 2k/8) for a representative k.
 func TestProfileFindsPaperOptimum(t *testing.T) {
-	tab, res, err := Profile(16)
+	tab, res, err := Profile(smallCfg(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,8 @@ import (
 	"flattree/internal/fattree"
 	"flattree/internal/jellyfish"
 	"flattree/internal/metrics"
+	"flattree/internal/parallel"
+	"flattree/internal/topo"
 )
 
 // MNSetting is one (m, n) converter-count choice, expressed in eighths of k
@@ -40,7 +42,9 @@ var Fig5Settings = []MNSetting{
 
 // Fig5 regenerates Figure 5: network-wide average path length of server
 // pairs versus k, for fat-tree, random graph, and flat-tree in
-// global-random mode under each (m, n) setting.
+// global-random mode under each (m, n) setting. Every (k, column) cell —
+// one topology build plus an all-pairs BFS sweep — runs concurrently
+// through the worker pool.
 func Fig5(cfg Config) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 5: average path length of server pairs in the entire network",
@@ -49,44 +53,50 @@ func Fig5(cfg Config) (*Table, error) {
 	for _, s := range Fig5Settings {
 		t.Header = append(t.Header, s.Label())
 	}
-	for _, k := range cfg.Ks() {
-		fat, err := fattree.New(k)
-		if err != nil {
-			return nil, err
-		}
-		aplFat, err := metrics.AveragePathLength(fat.Net)
-		if err != nil {
-			return nil, err
-		}
-		rg, err := jellyfish.New(k, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		aplRG, err := metrics.AveragePathLength(rg.Net)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{fmt.Sprint(k), f3(aplFat), f3(aplRG)}
-		for _, s := range Fig5Settings {
+	ks := cfg.Ks()
+	cols := 2 + len(Fig5Settings)
+	cells, err := parallel.Map(len(ks)*cols, cfg.workers(), func(idx int) (string, error) {
+		k, ci := ks[idx/cols], idx%cols
+		var nw *topo.Network
+		switch ci {
+		case 0:
+			fat, err := fattree.New(k)
+			if err != nil {
+				return "", err
+			}
+			nw = fat.Net
+		case 1:
+			rg, err := jellyfish.New(k, cfg.Seed)
+			if err != nil {
+				return "", err
+			}
+			nw = rg.Net
+		default:
+			s := Fig5Settings[ci-2]
 			m, n := s.Resolve(k)
 			if m+n > k/2 {
-				row = append(row, "-") // infeasible for this k
-				continue
+				return "-", nil // infeasible for this k
 			}
 			ft, err := core.Build(core.Params{K: k, M: m, N: n})
 			if err != nil {
-				return nil, err
+				return "", err
 			}
 			if err := ft.SetUniformMode(core.ModeGlobalRandom); err != nil {
-				return nil, err
+				return "", err
 			}
-			apl, err := metrics.AveragePathLength(ft.Net())
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f3(apl))
+			nw = ft.Net()
 		}
-		t.AddRow(row...)
+		apl, err := metrics.AveragePathLength(nw)
+		if err != nil {
+			return "", fmt.Errorf("fig5 k=%d col=%d: %w", k, ci, err)
+		}
+		return f3(apl), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range ks {
+		t.AddRow(append([]string{fmt.Sprint(k)}, cells[ki*cols:(ki+1)*cols]...)...)
 	}
 	return t, nil
 }
@@ -102,8 +112,10 @@ type ProfileResult struct {
 
 // Profile runs the §2.4 profiling scheme: sweep (m, n) at k/8 granularity
 // under the preferred wiring pattern and report the argmin average path
-// length. The paper finds (k/8, 2k/8).
-func Profile(k int) (*Table, ProfileResult, error) {
+// length. The paper finds (k/8, 2k/8). The settings evaluate concurrently
+// (cfg.Parallelism workers); the argmin scan runs over the merged results
+// in sweep order, so ties resolve identically at every worker count.
+func Profile(cfg Config, k int) (*Table, ProfileResult, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Profiling m,n for k=%d (§2.4): APL per setting", k),
 		Header: []string{"m", "n", "apl"},
@@ -111,30 +123,38 @@ func Profile(k int) (*Table, ProfileResult, error) {
 	res := ProfileResult{K: k, BestAPL: -1}
 	round := func(num, den int) int { return (2*num + den) / (2 * den) }
 	dm, dn := core.DefaultMN(k)
+	type setting struct{ m, n int }
+	var settings []setting
 	for mi := 1; mi <= 4; mi++ {
 		for ni := 1; ni <= 4; ni++ {
 			m, n := round(mi*k, 8), round(ni*k, 8)
 			if m+n > k/2 || m < 1 || n < 1 {
 				continue
 			}
-			ft, err := core.Build(core.Params{K: k, M: m, N: n})
-			if err != nil {
-				return nil, res, err
-			}
-			if err := ft.SetUniformMode(core.ModeGlobalRandom); err != nil {
-				return nil, res, err
-			}
-			apl, err := metrics.AveragePathLength(ft.Net())
-			if err != nil {
-				return nil, res, err
-			}
-			t.AddRow(fmt.Sprint(m), fmt.Sprint(n), f3(apl))
-			if res.BestAPL < 0 || apl < res.BestAPL {
-				res.BestM, res.BestN, res.BestAPL = m, n, apl
-			}
-			if m == dm && n == dn {
-				res.DefaultAPL = apl
-			}
+			settings = append(settings, setting{m, n})
+		}
+	}
+	apls, err := parallel.Map(len(settings), cfg.workers(), func(i int) (float64, error) {
+		ft, err := core.Build(core.Params{K: k, M: settings[i].m, N: settings[i].n})
+		if err != nil {
+			return 0, err
+		}
+		if err := ft.SetUniformMode(core.ModeGlobalRandom); err != nil {
+			return 0, err
+		}
+		return metrics.AveragePathLength(ft.Net())
+	})
+	if err != nil {
+		return nil, res, err
+	}
+	for i, s := range settings {
+		apl := apls[i]
+		t.AddRow(fmt.Sprint(s.m), fmt.Sprint(s.n), f3(apl))
+		if res.BestAPL < 0 || apl < res.BestAPL {
+			res.BestM, res.BestN, res.BestAPL = s.m, s.n, apl
+		}
+		if s.m == dm && s.n == dn {
+			res.DefaultAPL = apl
 		}
 	}
 	return t, res, nil

@@ -5,38 +5,48 @@ import (
 
 	"flattree/internal/core"
 	"flattree/internal/metrics"
+	"flattree/internal/parallel"
+	"flattree/internal/topo"
 )
 
 // Fig6 regenerates Figure 6: average path length of server pairs within the
 // same pod, comparing flat-tree in local-random mode against fat-tree,
-// the global random graph, and the two-stage random graph.
+// the global random graph, and the two-stage random graph. The per-k suite
+// builds and the per-topology BFS sweeps both fan out through the worker
+// pool.
 func Fig6(cfg Config) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 6: average path length of server pairs in each pod",
 		Header: []string{"k", "flat-tree", "fat-tree", "random-graph", "two-stage-rg"},
 	}
-	for _, k := range cfg.Ks() {
-		s, err := buildSuite(k, cfg.Seed, core.ModeLocalRandom, true)
+	ks := cfg.Ks()
+	if len(ks) == 0 {
+		return t, nil
+	}
+	workers := cfg.workers()
+	suites, err := parallel.Map(len(ks), workers, func(i int) (*suite, error) {
+		return buildSuite(ks[i], cfg.Seed, core.ModeLocalRandom, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	netsOf := func(s *suite) []*topo.Network {
+		return []*topo.Network{s.flat.Net(), s.fat.Net, s.rg.Net, s.twoStage.Net}
+	}
+	const cols = 4
+	cells, err := parallel.Map(len(ks)*cols, workers, func(idx int) (string, error) {
+		ki, ci := idx/cols, idx%cols
+		apl, err := metrics.IntraPodAveragePathLength(netsOf(suites[ki])[ci])
 		if err != nil {
-			return nil, err
+			return "", fmt.Errorf("fig6 k=%d net=%d: %w", ks[ki], ci, err)
 		}
-		aplFlat, err := metrics.IntraPodAveragePathLength(s.flat.Net())
-		if err != nil {
-			return nil, err
-		}
-		aplFat, err := metrics.IntraPodAveragePathLength(s.fat.Net)
-		if err != nil {
-			return nil, err
-		}
-		aplRG, err := metrics.IntraPodAveragePathLength(s.rg.Net)
-		if err != nil {
-			return nil, err
-		}
-		aplTS, err := metrics.IntraPodAveragePathLength(s.twoStage.Net)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(k), f3(aplFlat), f3(aplFat), f3(aplRG), f3(aplTS))
+		return f3(apl), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range ks {
+		t.AddRow(append([]string{fmt.Sprint(k)}, cells[ki*cols:(ki+1)*cols]...)...)
 	}
 	return t, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"flattree/internal/core"
 	"flattree/internal/mcf"
+	"flattree/internal/parallel"
 	"flattree/internal/topo"
 	"flattree/internal/traffic"
 )
@@ -25,27 +26,6 @@ func throughput(nw *topo.Network, serverIDs []int, clusterSize int, placement tr
 	return mcf.MaxConcurrentFlow(nw, pattern(clusters), mcf.Options{Epsilon: epsilon})
 }
 
-// throughputAvg averages the throughput over cfg.Trials placement seeds
-// (randomized hot-spot choice and random placements make single runs
-// noisy; the paper plots smooth curves).
-func throughputAvg(cfg Config, nw *topo.Network, serverIDs []int, clusterSize int,
-	placement traffic.Placement, pattern func([]traffic.Cluster) []mcf.Commodity) (float64, error) {
-	trials := cfg.Trials
-	if trials <= 0 {
-		trials = 1
-	}
-	sum := 0.0
-	for tr := 0; tr < trials; tr++ {
-		res, err := throughput(nw, serverIDs, clusterSize, placement, pattern,
-			cfg.Seed+uint64(tr)*7919, cfg.Epsilon)
-		if err != nil {
-			return 0, err
-		}
-		sum += res.Lambda
-	}
-	return sum / float64(trials), nil
-}
-
 // BroadcastClusterSize is the paper's hot-spot cluster size (§3.3).
 const BroadcastClusterSize = 1000
 
@@ -63,9 +43,68 @@ func allToAllPattern(cl []traffic.Cluster) []mcf.Commodity {
 	return traffic.AllToAllCommodities(cl, AllToAllClusterSize)
 }
 
+// throughputFigure is the shared engine behind Figures 7 and 8: for every k
+// in the sweep it builds the figure's topology suite, then measures the
+// Trials-averaged max concurrent flow of every (topology, placement) column.
+// All (k, column, trial) cells run concurrently through the worker pool —
+// the sweep is the hottest loop in the repository, and every cell is an
+// independent LP solve — and the trial averages are reduced in trial order,
+// so the table is byte-identical for every Parallelism setting.
+func throughputFigure(cfg Config, fig string, t *Table, mode core.Mode, withTwoStage bool,
+	clusterSize int, placements []traffic.Placement,
+	pattern func([]traffic.Cluster) []mcf.Commodity,
+	netsOf func(*suite) []*topo.Network) (*Table, error) {
+
+	ks := cfg.Ks()
+	if len(ks) == 0 {
+		return t, nil
+	}
+	workers := cfg.workers()
+	suites, err := parallel.Map(len(ks), workers, func(i int) (*suite, error) {
+		return buildSuite(ks[i], cfg.Seed, mode, withTwoStage)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	trials := cfg.trials()
+	seeds := cfg.trialSeeds()
+	numPl := len(placements)
+	cols := len(netsOf(suites[0])) * numPl
+	perK := cols * trials
+	lambdas, err := parallel.Map(len(ks)*perK, workers, func(idx int) (float64, error) {
+		ki, rest := idx/perK, idx%perK
+		ci, tr := rest/trials, rest%trials
+		nw := netsOf(suites[ki])[ci/numPl]
+		res, err := throughput(nw, serverIDsOf(nw), clusterSize, placements[ci%numPl],
+			pattern, seeds.Seed(uint64(tr)), cfg.Epsilon)
+		if err != nil {
+			return 0, fmt.Errorf("%s k=%d net=%d trial=%d: %w", fig, ks[ki], ci/numPl, tr, err)
+		}
+		return res.Lambda, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for ki, k := range ks {
+		row := []string{fmt.Sprint(k)}
+		for ci := 0; ci < cols; ci++ {
+			sum := 0.0
+			for tr := 0; tr < trials; tr++ {
+				sum += lambdas[ki*perK+ci*trials+tr]
+			}
+			row = append(row, f4(sum/float64(trials)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
 // Fig7 regenerates Figure 7: throughput of broadcast/incast traffic in
 // 1000-server clusters for fat-tree, flat-tree (global-random mode), and
-// random graph, each with strong locality and no locality.
+// random graph, each with strong locality and no locality, averaged over
+// cfg.trials() placement seeds.
 func Fig7(cfg Config) (*Table, error) {
 	t := &Table{
 		Title: "Figure 7: throughput of broadcast/incast traffic in 1000-server clusters",
@@ -74,32 +113,17 @@ func Fig7(cfg Config) (*Table, error) {
 			"flat-tree/loc", "flat-tree/noloc",
 			"random-graph/loc", "random-graph/noloc"},
 	}
-	for _, k := range cfg.Ks() {
-		s, err := buildSuite(k, cfg.Seed, core.ModeGlobalRandom, false)
-		if err != nil {
-			return nil, err
-		}
-		nets := []*topo.Network{s.fat.Net, s.flat.Net(), s.rg.Net}
-		row := []string{fmt.Sprint(k)}
-		cells := make([]string, 6)
-		for ni, nw := range nets {
-			for pi, placement := range []traffic.Placement{traffic.Locality, traffic.NoLocality} {
-				lambda, err := throughputAvg(cfg, nw, serverIDsOf(nw), BroadcastClusterSize,
-					placement, broadcastPattern)
-				if err != nil {
-					return nil, fmt.Errorf("fig7 k=%d net=%d: %w", k, ni, err)
-				}
-				cells[ni*2+pi] = f4(lambda)
-			}
-		}
-		t.AddRow(append(row, cells...)...)
-	}
-	return t, nil
+	return throughputFigure(cfg, "fig7", t, core.ModeGlobalRandom, false,
+		BroadcastClusterSize,
+		[]traffic.Placement{traffic.Locality, traffic.NoLocality},
+		broadcastPattern,
+		func(s *suite) []*topo.Network { return []*topo.Network{s.fat.Net, s.flat.Net(), s.rg.Net} })
 }
 
 // Fig8 regenerates Figure 8: throughput of all-to-all traffic in 20-server
 // clusters for fat-tree, flat-tree (local-random mode), two-stage random
-// graph, and random graph, each with strong and weak locality.
+// graph, and random graph, each with strong and weak locality, averaged
+// over cfg.trials() placement seeds.
 func Fig8(cfg Config) (*Table, error) {
 	t := &Table{
 		Title: "Figure 8: throughput of all-to-all traffic in 20-server clusters",
@@ -109,24 +133,11 @@ func Fig8(cfg Config) (*Table, error) {
 			"two-stage-rg/loc", "two-stage-rg/weak",
 			"random-graph/loc", "random-graph/weak"},
 	}
-	for _, k := range cfg.Ks() {
-		s, err := buildSuite(k, cfg.Seed, core.ModeLocalRandom, true)
-		if err != nil {
-			return nil, err
-		}
-		nets := []*topo.Network{s.fat.Net, s.flat.Net(), s.twoStage.Net, s.rg.Net}
-		cells := make([]string, 8)
-		for ni, nw := range nets {
-			for pi, placement := range []traffic.Placement{traffic.Locality, traffic.WeakLocality} {
-				lambda, err := throughputAvg(cfg, nw, serverIDsOf(nw), AllToAllClusterSize,
-					placement, allToAllPattern)
-				if err != nil {
-					return nil, fmt.Errorf("fig8 k=%d net=%d: %w", k, ni, err)
-				}
-				cells[ni*2+pi] = f4(lambda)
-			}
-		}
-		t.AddRow(append([]string{fmt.Sprint(k)}, cells...)...)
-	}
-	return t, nil
+	return throughputFigure(cfg, "fig8", t, core.ModeLocalRandom, true,
+		AllToAllClusterSize,
+		[]traffic.Placement{traffic.Locality, traffic.WeakLocality},
+		allToAllPattern,
+		func(s *suite) []*topo.Network {
+			return []*topo.Network{s.fat.Net, s.flat.Net(), s.twoStage.Net, s.rg.Net}
+		})
 }

@@ -5,6 +5,8 @@ import (
 
 	"flattree/internal/core"
 	"flattree/internal/mcf"
+	"flattree/internal/parallel"
+	"flattree/internal/topo"
 	"flattree/internal/traffic"
 )
 
@@ -30,6 +32,11 @@ type HybridRow struct {
 // pattern as the corresponding complete network: broadcast/incast in
 // 1000-server clusters (global zone), all-to-all in 20-server clusters
 // (local zone), both placed with locality inside their zone.
+//
+// Mode flips mutate the shared flat-tree, so the reference solves and the
+// per-proportion network snapshots are prepared sequentially; the nine
+// proportions' cluster builds and MCF solves (three LPs each) then fan out
+// through the worker pool and are merged back in proportion order.
 func Hybrid(cfg Config) (*Table, []HybridRow, error) {
 	k := cfg.HybridK
 	if k == 0 {
@@ -55,7 +62,15 @@ func Hybrid(cfg Config) (*Table, []HybridRow, error) {
 		Header: []string{"global-pods", "local-pods",
 			"zoneG", "zoneG/refG", "zoneL", "zoneL/refL", "interference"},
 	}
-	var rows []HybridRow
+
+	// Snapshot each proportion's network up front: SetModes rewires ft in
+	// place, but every Net() call returns an immutable snapshot, so the
+	// solves below can run concurrently over the collected cases.
+	type hybridCase struct {
+		zg int
+		nw *topo.Network
+	}
+	var cases []hybridCase
 	for tenths := 1; tenths <= 9; tenths++ {
 		zg := (k*tenths + 5) / 10
 		if zg < 1 || zg > k-1 {
@@ -72,7 +87,11 @@ func Hybrid(cfg Config) (*Table, []HybridRow, error) {
 		if err := ft.SetModes(modes); err != nil {
 			return nil, nil, err
 		}
-		nw := ft.Net()
+		cases = append(cases, hybridCase{zg: zg, nw: ft.Net()})
+	}
+
+	rows, err := parallel.Map(len(cases), cfg.workers(), func(i int) (HybridRow, error) {
+		zg, nw := cases[i].zg, cases[i].nw
 
 		// Zone server sets (servers keep home-pod labels).
 		var globalServers, localServers []int
@@ -86,23 +105,23 @@ func Hybrid(cfg Config) (*Table, []HybridRow, error) {
 		gcl, err := traffic.MakeClusters(nw, globalServers, traffic.Spec{
 			ClusterSize: BroadcastClusterSize, Placement: traffic.Locality, Seed: cfg.Seed})
 		if err != nil {
-			return nil, nil, err
+			return HybridRow{}, err
 		}
 		lcl, err := traffic.MakeClusters(nw, localServers, traffic.Spec{
 			ClusterSize: AllToAllClusterSize, Placement: traffic.Locality, Seed: cfg.Seed})
 		if err != nil {
-			return nil, nil, err
+			return HybridRow{}, err
 		}
 		gComms := broadcastPattern(gcl)
 		lComms := allToAllPattern(lcl)
 
 		resG, err := mcf.MaxConcurrentFlow(nw, gComms, mcf.Options{Epsilon: cfg.Epsilon})
 		if err != nil {
-			return nil, nil, err
+			return HybridRow{}, err
 		}
 		resL, err := mcf.MaxConcurrentFlow(nw, lComms, mcf.Options{Epsilon: cfg.Epsilon})
 		if err != nil {
-			return nil, nil, err
+			return HybridRow{}, err
 		}
 
 		// Joint solve with each zone's demands scaled to its standalone
@@ -118,17 +137,22 @@ func Hybrid(cfg Config) (*Table, []HybridRow, error) {
 		}
 		resJ, err := mcf.MaxConcurrentFlow(nw, joint, mcf.Options{Epsilon: cfg.Epsilon})
 		if err != nil {
-			return nil, nil, err
+			return HybridRow{}, err
 		}
 
-		row := HybridRow{
+		return HybridRow{
 			GlobalPods: zg, LocalPods: k - zg,
 			LambdaGlobal: resG.Lambda, LambdaLocal: resL.Lambda,
 			RefGlobal: refGlobal, RefLocal: refLocal,
 			Interference: resJ.Lambda,
-		}
-		rows = append(rows, row)
-		t.AddRow(fmt.Sprint(zg), fmt.Sprint(k-zg),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	for _, row := range rows {
+		t.AddRow(fmt.Sprint(row.GlobalPods), fmt.Sprint(row.LocalPods),
 			f4(row.LambdaGlobal), f3(row.LambdaGlobal/refGlobal),
 			f4(row.LambdaLocal), f3(row.LambdaLocal/refLocal),
 			f3(row.Interference))

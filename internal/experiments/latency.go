@@ -5,6 +5,7 @@ import (
 
 	"flattree/internal/core"
 	"flattree/internal/graph"
+	"flattree/internal/parallel"
 	"flattree/internal/pktsim"
 	"flattree/internal/routing"
 	"flattree/internal/topo"
@@ -14,7 +15,10 @@ import (
 // fat-tree, flat-tree (each mode), and the random graph at one k, turning
 // the Figure-5 path-length differences into observable packet latency.
 // Load is the per-unit-time packet injection rate relative to the server
-// count (0 selects a light 0.1 pkt/server/unit).
+// count (0 selects a light 0.1 pkt/server/unit). The targets are collected
+// sequentially (mode flips mutate the flat-tree, though each Net() snapshot
+// is immutable), then the five simulations — each with its own RNG seeded
+// from cfg.Seed — run concurrently.
 func Latency(cfg Config, k int, load float64) (*Table, error) {
 	if k == 0 {
 		k = 8
@@ -45,7 +49,8 @@ func Latency(cfg Config, k int, load float64) (*Table, error) {
 		}
 		targets = append(targets, target{"flat-tree/" + mode.String(), s.flat.Net()})
 	}
-	for _, tg := range targets {
+	rows, err := parallel.Map(len(targets), cfg.workers(), func(i int) ([]string, error) {
+		tg := targets[i]
 		servers := tg.nw.Servers()
 		rate := load * float64(len(servers))
 		count := 40 * len(servers)
@@ -55,9 +60,15 @@ func Latency(cfg Config, k int, load float64) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("latency %s: %w", tg.name, err)
 		}
-		t.AddRow(tg.name,
+		return []string{tg.name,
 			fmt.Sprint(res.Delivered), fmt.Sprint(res.Dropped),
-			f3(res.MeanLatency), f3(res.P99Latency), f3(res.MeanHops), f3(res.Utilization))
+			f3(res.MeanLatency), f3(res.P99Latency), f3(res.MeanHops), f3(res.Utilization)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

@@ -160,35 +160,40 @@ func runGlobalrand(pc *pkgChecker) {
 // layerOf assigns every internal package a layer in the dependency DAG.
 // An import is legal only from a higher layer to a strictly lower one:
 //
-//	layer 0: converter, graph, lp, flatlint   (leaf utilities, std-lib only)
-//	layer 1: topo                             (labeled topology model)
-//	layer 2: core, fattree, faults, jellyfish, mcf, metrics, routing
-//	layer 3: dynsim, flowsim, pktsim, traffic, twostage (simulators)
-//	layer 4: ctrl, experiments                (orchestration)
+//	layer 0: parallel                         (worker pool + seed streams, std-lib only)
+//	layer 1: converter, graph, lp, flatlint   (leaf utilities)
+//	layer 2: topo                             (labeled topology model)
+//	layer 3: core, fattree, faults, jellyfish, mcf, metrics, routing
+//	layer 4: dynsim, flowsim, pktsim, traffic, twostage (simulators)
+//	layer 5: ctrl, experiments                (orchestration)
+//
+// parallel sits below everything so that both the graph substrate (all-pairs
+// BFS) and the experiment drivers can fan work out through the same runner.
 //
 // cmd/, examples/, and the module root sit above every layer and may
 // import anything. A new internal package must be added here before it can
 // be imported, so the DAG stays a reviewed, explicit artifact.
 var layerOf = map[string]int{
-	"internal/converter":   0,
-	"internal/flatlint":    0,
-	"internal/graph":       0,
-	"internal/lp":          0,
-	"internal/topo":        1,
-	"internal/core":        2,
-	"internal/fattree":     2,
-	"internal/faults":      2,
-	"internal/jellyfish":   2,
-	"internal/mcf":         2,
-	"internal/metrics":     2,
-	"internal/routing":     2,
-	"internal/dynsim":      3,
-	"internal/flowsim":     3,
-	"internal/pktsim":      3,
-	"internal/traffic":     3,
-	"internal/twostage":    3,
-	"internal/ctrl":        4,
-	"internal/experiments": 4,
+	"internal/parallel":    0,
+	"internal/converter":   1,
+	"internal/flatlint":    1,
+	"internal/graph":       1,
+	"internal/lp":          1,
+	"internal/topo":        2,
+	"internal/core":        3,
+	"internal/fattree":     3,
+	"internal/faults":      3,
+	"internal/jellyfish":   3,
+	"internal/mcf":         3,
+	"internal/metrics":     3,
+	"internal/routing":     3,
+	"internal/dynsim":      4,
+	"internal/flowsim":     4,
+	"internal/pktsim":      4,
+	"internal/traffic":     4,
+	"internal/twostage":    4,
+	"internal/ctrl":        5,
+	"internal/experiments": 5,
 }
 
 // runLayering enforces the package dependency DAG above.

@@ -1,0 +1,9 @@
+// Package parallel is the bottom-layer fixture: the layer-0 runner may not
+// import anything above it, not even the layer-1 graph substrate that uses
+// it in the real module.
+package parallel
+
+import "flattree/internal/graph"
+
+// Spawn reaches upward into graph and is flagged.
+func Spawn(xs []int) { graph.GlobalShuffle(xs) }

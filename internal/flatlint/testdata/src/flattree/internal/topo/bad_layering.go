@@ -1,5 +1,5 @@
-// Package topo is the layering fixture: topo sits at layer 1 and may not
-// import the layer-4 experiments package.
+// Package topo is the layering fixture: topo sits at layer 2 and may not
+// import the layer-5 experiments package.
 package topo
 
 import "flattree/internal/experiments"

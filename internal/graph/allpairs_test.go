@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestAllPairsBFSMatchesSequential checks the fan-out against plain BFS on
+// a random regular graph, for several worker counts including the
+// sequential one.
+func TestAllPairsBFSMatchesSequential(t *testing.T) {
+	degrees := make([]int, 60)
+	for i := range degrees {
+		degrees[i] = 4
+	}
+	g, err := BuildConnected(degrees, NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]int, g.N())
+	for i := range sources {
+		sources[i] = i
+	}
+	want := make([][]int32, len(sources))
+	for i, s := range sources {
+		want[i] = g.BFS(s)
+	}
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := g.AllPairsBFS(sources, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			for v := range want[i] {
+				if got[i][v] != want[i][v] {
+					t.Fatalf("workers=%d: dist[%d][%d] = %d, want %d",
+						workers, i, v, got[i][v], want[i][v])
+				}
+			}
+		}
+	}
+}
+
+func TestAllPairsBFSRejectsBadSource(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	for _, src := range []int{-1, 4} {
+		if _, err := g.AllPairsBFS([]int{0, src}, 2); err == nil {
+			t.Errorf("source %d: expected range error", src)
+		}
+	}
+}
+
+func TestAllPairsBFSEmptySources(t *testing.T) {
+	g := New(3)
+	rows, err := g.AllPairsBFS(nil, 4)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("rows=%v err=%v", rows, err)
+	}
+}

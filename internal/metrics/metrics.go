@@ -33,6 +33,15 @@ type PathLengthStats struct {
 // server-hosting switch. It returns an error if any server pair is
 // disconnected.
 func ServerPathLengths(nw *topo.Network) (PathLengthStats, error) {
+	return ServerPathLengthsParallel(nw, 1)
+}
+
+// ServerPathLengthsParallel is ServerPathLengths with the per-switch BFS
+// sweep fanned out across workers goroutines (0 means all cores, 1 means
+// fully sequential). The per-pair aggregation always replays in ascending
+// source order, so the returned statistics are bit-identical for every
+// worker count.
+func ServerPathLengthsParallel(nw *topo.Network, workers int) (PathLengthStats, error) {
 	g := nw.Graph()
 	n := g.N()
 
@@ -91,10 +100,11 @@ func ServerPathLengths(nw *topo.Network) (PathLengthStats, error) {
 		}
 	}
 
-	dist := make([]int32, n)
-	queue := make([]int32, n)
-	for _, s := range hostSwitches {
-		g.BFSInto(s, dist, queue)
+	// aggregate folds one source switch's distance vector into the running
+	// sums. It must be called in ascending hostSwitches order: the order of
+	// floating-point additions is part of the package's output contract
+	// (tables print identically for every worker count).
+	aggregate := func(s int, dist []int32) error {
 		cs := total[s]
 		// Same-switch pairs: distance 2.
 		same := cs * (cs - 1) / 2
@@ -115,7 +125,7 @@ func ServerPathLengths(nw *topo.Network) (PathLengthStats, error) {
 			}
 			d := dist[t]
 			if d < 0 {
-				return PathLengthStats{}, fmt.Errorf("metrics: switches %d and %d disconnected", s, t)
+				return fmt.Errorf("metrics: switches %d and %d disconnected", s, t)
 			}
 			hops := int(d) + 2
 			cnt := cs * total[t]
@@ -130,6 +140,31 @@ func ServerPathLengths(nw *topo.Network) (PathLengthStats, error) {
 						pairsPod += float64(cnt)
 					}
 				}
+			}
+		}
+		return nil
+	}
+
+	if workers == 1 {
+		// Streaming sweep: one scratch vector, no per-source allocation.
+		dist := make([]int32, n)
+		queue := make([]int32, n)
+		for _, s := range hostSwitches {
+			g.BFSInto(s, dist, queue)
+			if err := aggregate(s, dist); err != nil {
+				return PathLengthStats{}, err
+			}
+		}
+	} else {
+		// Fan the BFS sweep out, then replay the aggregation in source
+		// order over the precomputed rows.
+		rows, err := g.AllPairsBFS(hostSwitches, workers)
+		if err != nil {
+			return PathLengthStats{}, err
+		}
+		for i, s := range hostSwitches {
+			if err := aggregate(s, rows[i]); err != nil {
+				return PathLengthStats{}, err
 			}
 		}
 	}
@@ -150,7 +185,14 @@ func ServerPathLengths(nw *topo.Network) (PathLengthStats, error) {
 // AveragePathLength returns the network-wide server-pair average path
 // length in hops.
 func AveragePathLength(nw *topo.Network) (float64, error) {
-	st, err := ServerPathLengths(nw)
+	return AveragePathLengthParallel(nw, 1)
+}
+
+// AveragePathLengthParallel is AveragePathLength with the BFS sweep spread
+// over workers goroutines (0 means all cores); the result is identical for
+// every worker count.
+func AveragePathLengthParallel(nw *topo.Network, workers int) (float64, error) {
+	st, err := ServerPathLengthsParallel(nw, workers)
 	if err != nil {
 		return 0, err
 	}
@@ -160,7 +202,14 @@ func AveragePathLength(nw *topo.Network) (float64, error) {
 // IntraPodAveragePathLength returns the mean distance over server pairs
 // sharing a pod label.
 func IntraPodAveragePathLength(nw *topo.Network) (float64, error) {
-	st, err := ServerPathLengths(nw)
+	return IntraPodAveragePathLengthParallel(nw, 1)
+}
+
+// IntraPodAveragePathLengthParallel is IntraPodAveragePathLength with the
+// BFS sweep spread over workers goroutines (0 means all cores); the result
+// is identical for every worker count.
+func IntraPodAveragePathLengthParallel(nw *topo.Network, workers int) (float64, error) {
+	st, err := ServerPathLengthsParallel(nw, workers)
 	if err != nil {
 		return 0, err
 	}

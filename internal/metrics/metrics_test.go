@@ -113,6 +113,38 @@ func TestSingleServerError(t *testing.T) {
 	}
 }
 
+// TestParallelBitIdentical asserts the package contract: the fanned-out
+// sweep produces bit-for-bit the same statistics as the sequential one, for
+// several worker counts. Exact float equality is intentional here — equal
+// operation order must give equal bits.
+func TestParallelBitIdentical(t *testing.T) {
+	f, err := fattree.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ServerPathLengths(f.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 13} {
+		got, err := ServerPathLengthsParallel(f.Net, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Global != want.Global || got.IntraPod != want.IntraPod || got.Max != want.Max {
+			t.Errorf("workers=%d: stats %+v differ from sequential %+v", workers, got, want)
+		}
+		if len(got.Histogram) != len(want.Histogram) {
+			t.Fatalf("workers=%d: histogram length %d vs %d", workers, len(got.Histogram), len(want.Histogram))
+		}
+		for d := range want.Histogram {
+			if got.Histogram[d] != want.Histogram[d] {
+				t.Errorf("workers=%d: histogram[%d] = %d, want %d", workers, d, got.Histogram[d], want.Histogram[d])
+			}
+		}
+	}
+}
+
 func TestWrappers(t *testing.T) {
 	f, err := fattree.New(4)
 	if err != nil {

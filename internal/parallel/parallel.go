@@ -1,0 +1,111 @@
+// Package parallel is the repository's deterministic fan-out runner. Every
+// embarrassingly parallel loop — experiment sweeps over (k, topology,
+// trial) cells, all-pairs BFS sources — goes through Map or ForEach, which
+// distribute the index range [0, n) over a bounded worker pool and merge
+// results in index order. The contract that makes the experiment tables
+// reproducible is: for a pure per-index function, the merged output is
+// identical for every worker count, including 1. Callers therefore never
+// need a separate sequential code path.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob to an effective worker count: a
+// positive value is used as-is, anything else (the "auto" default) becomes
+// runtime.GOMAXPROCS(0), i.e. every available core.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach calls fn(i) for every i in [0, n), spread across Workers(workers)
+// goroutines. Indices are handed out dynamically (an atomic counter), so
+// uneven per-index costs still balance.
+//
+// On error the pool cancels: workers stop taking new indices, in-flight
+// calls finish, and ForEach returns the error of the lowest-indexed call
+// observed to fail. With workers <= 1 the calls run sequentially on the
+// caller's goroutine and the first error returns immediately, exactly like
+// the hand-written loop it replaces.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		mu      sync.Mutex
+		errIdx  int
+		firstE  error
+		wg      sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstE == nil || i < errIdx {
+			firstE, errIdx = err, i
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstE
+}
+
+// Map evaluates fn(i) for every i in [0, n) across Workers(workers)
+// goroutines and returns the results in index order. Error semantics match
+// ForEach: the result slice is nil and the error is from the lowest-indexed
+// failing call observed before cancellation. fn must be safe for concurrent
+// invocation; it is never called twice for the same index.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package parallel
+
+// SeedStream derives independent per-cell seeds from one base seed by
+// SplitMix64-hashing the (base, cell) pair. Experiment drivers use it to
+// give every (topology, placement, trial) cell its own RNG seed that is a
+// pure function of the configured base seed and the cell index — so the
+// same flags always reproduce the same tables, regardless of worker count
+// or completion order.
+//
+// The previous additive derivation (base + trial*7919) made "independent"
+// trials share raw seed values between nearby base seeds: bases b and
+// b+7919 produce fully overlapping, merely shifted seed sequences, and any
+// two bases collide once trial strides line up. Hashing both words through
+// the SplitMix64 finalizer (a bijection with full avalanche) breaks that
+// structure: flipping any bit of the base or the cell index flips ~half the
+// output bits, so distinct (base, cell) pairs yield effectively independent
+// seeds.
+type SeedStream struct {
+	base uint64
+}
+
+// golden is the SplitMix64 increment, 2^64 / phi, an odd constant whose
+// multiples visit every uint64 exactly once.
+const golden = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 output finalizer (Steele, Lea & Flood 2014), a
+// bijective avalanche function on uint64.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewSeedStream returns the seed stream for one base seed. Streams are
+// stateless: two streams with the same base are interchangeable.
+func NewSeedStream(base uint64) SeedStream {
+	// Pre-diffuse the base so that low-entropy bases (0, 1, 2, ...) land
+	// far apart before the per-cell offset is applied.
+	return SeedStream{base: mix64(base + golden)}
+}
+
+// Seed returns the seed for one cell. For a fixed base, cell -> Seed(cell)
+// is injective (the finalizer is a bijection applied to base + cell*golden,
+// which is itself injective in cell), so no two cells of one experiment run
+// ever share a seed.
+func (s SeedStream) Seed(cell uint64) uint64 {
+	return mix64(s.base + cell*golden)
+}

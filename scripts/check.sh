@@ -2,8 +2,10 @@
 # check.sh is the repository's tier-1 verification gate: build, go vet,
 # gofmt, the custom flatlint static-analysis pass, the unit tests, and the
 # race detector on the concurrent packages (the ctrl control plane spawns
-# per-connection goroutines; dynsim drives it under load). CI and local
-# development both run exactly this script:
+# per-connection goroutines; dynsim drives it under load; parallel is the
+# deterministic fan-out runner; graph, metrics, and experiments fan their
+# sweeps out through it). CI and local development both run exactly this
+# script:
 #
 #	./scripts/check.sh
 #
@@ -32,6 +34,8 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/ctrl/... ./internal/dynsim/...
+go test -race ./internal/ctrl/... ./internal/dynsim/... \
+    ./internal/parallel/... ./internal/graph/... ./internal/metrics/... \
+    ./internal/experiments/...
 
 echo "ok: all checks passed"
