@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"flattree/internal/core"
 	"flattree/internal/experiments"
@@ -43,6 +45,8 @@ func main() {
 		expK    = flag.Int("exportk", 4, "network size for the export subcommand")
 		expMode = flag.String("exportmode", "global-random", "flat-tree mode for the export subcommand")
 		expFmt  = flag.String("format", "dot", "export format: dot or json")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|latency|stats|export|all\n")
@@ -57,6 +61,28 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Profiling hooks: full-scale runs (e.g. -kmax 32 fig7) can be
+	// profiled without editing code. The profiles cover the experiment
+	// itself, not flag parsing.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			check(err)
+			runtime.GC() // report live heap, not transient garbage
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
 	}
 
 	emit := func(t *experiments.Table) {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"sync"
 
 	"flattree/internal/parallel"
 )
@@ -23,9 +24,18 @@ func (g *Graph) AllPairsBFS(sources []int, workers int) ([][]int32, error) {
 			return nil, fmt.Errorf("graph: BFS source %d out of range [0,%d)", s, n)
 		}
 	}
+	// The distance vectors are the result and must be allocated, but the
+	// BFS queue is pure scratch: a pool bounds queue allocations by the
+	// worker count instead of the source count.
+	queues := sync.Pool{New: func() any {
+		q := make([]int32, n)
+		return &q
+	}}
 	return parallel.Map(len(sources), workers, func(i int) ([]int32, error) {
 		dist := make([]int32, n)
-		g.BFSInto(sources[i], dist, make([]int32, n))
+		q := queues.Get().(*[]int32)
+		g.BFSInto(sources[i], dist, *q)
+		queues.Put(q)
 		return dist, nil
 	})
 }

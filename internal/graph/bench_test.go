@@ -37,22 +37,37 @@ func BenchmarkDijkstra(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			g := regular(b, n, 8, 1)
 			length := g.UnitLengths()
-			dist := make([]float64, n)
-			prev := make([]int32, n)
+			ws := g.NewWorkspace()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				g.Dijkstra(i%n, length, dist, prev, nil, nil)
+				ws.Dijkstra(i%n, length)
 			}
 		})
+	}
+}
+
+// BenchmarkDijkstraK32Scale runs the workspace kernel at the node count of
+// the paper's largest experiments: a flat-tree(32) has 5·32²/4 = 1280
+// switches of degree up to 32. This is the per-call cost the FPTAS pays
+// thousands of times per solve.
+func BenchmarkDijkstraK32Scale(b *testing.B) {
+	const n, d = 1280, 16
+	g := regular(b, n, d, 1)
+	length := g.UnitLengths()
+	ws := g.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Dijkstra(i%n, length)
 	}
 }
 
 func BenchmarkKShortestPaths(b *testing.B) {
 	g := regular(b, 256, 8, 1)
 	length := g.UnitLengths()
+	s := g.NewKSPSolver()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if paths := g.KShortestPaths(0, 128, 8, length); len(paths) == 0 {
+		if paths := s.KShortestPaths(0, 128, 8, length); len(paths) == 0 {
 			b.Fatal("no paths")
 		}
 	}

@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -14,97 +13,39 @@ type Path struct {
 // Len returns the hop count of the path (edges, not nodes).
 func (p Path) Len() int { return len(p.Nodes) - 1 }
 
-type pqItem struct {
-	node int32
-	dist float64
-}
-
-type priorityQueue []pqItem
-
-func (q priorityQueue) Len() int            { return len(q) }
-func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *priorityQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // Dijkstra computes shortest distances from src under per-edge lengths
 // length[e] (which must be non-negative). It fills dist (len N, +Inf when
 // unreachable) and prev (len N, -1 at roots/unreachable; otherwise the edge
 // index used to reach the node). Passing nil for prev skips predecessor
 // tracking.
 //
-// banned, if non-nil, marks edges (by index) that must not be used, and
-// bannedNode marks nodes that must not be traversed; both are Yen's spur
-// machinery and may be nil for plain shortest paths.
-func (g *Graph) Dijkstra(src int, length []float64, dist []float64, prev []int32, banned map[int32]bool, bannedNode []bool) {
-	for i := range dist {
-		dist[i] = math.Inf(1)
+// This is the convenience entry point: it allocates a fresh Workspace per
+// call. Hot loops (the FPTAS oracle, Yen's spur solves) should hold a
+// Workspace and call its methods instead, which is allocation-free.
+func (g *Graph) Dijkstra(src int, length []float64, dist []float64, prev []int32) {
+	w := g.NewWorkspace()
+	if prev == nil {
+		prev = w.Prev
 	}
-	if prev != nil {
-		for i := range prev {
-			prev[i] = -1
-		}
-	}
-	if bannedNode != nil && bannedNode[src] {
-		return
-	}
-	dist[src] = 0
-	q := priorityQueue{{int32(src), 0}}
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		v := it.node
-		if it.dist > dist[v] {
-			continue
-		}
-		for _, h := range g.adj[v] {
-			if banned != nil && banned[h.Edge] {
-				continue
-			}
-			if bannedNode != nil && bannedNode[h.Peer] {
-				continue
-			}
-			nd := it.dist + length[h.Edge]
-			if nd < dist[h.Peer] {
-				dist[h.Peer] = nd
-				if prev != nil {
-					prev[h.Peer] = h.Edge
-				}
-				heap.Push(&q, pqItem{h.Peer, nd})
-			}
-		}
-	}
+	w.run(int32(src), length, dist, prev, nil, nil)
 }
 
 // ShortestPath returns one shortest path from src to dst under the given
 // edge lengths, or ok=false if dst is unreachable.
 func (g *Graph) ShortestPath(src, dst int, length []float64) (Path, bool) {
-	dist := make([]float64, g.N())
-	prev := make([]int32, g.N())
-	g.Dijkstra(src, length, dist, prev, nil, nil)
-	if math.IsInf(dist[dst], 1) {
-		return Path{}, false
-	}
-	return g.extractPath(src, dst, dist[dst], prev), true
+	return g.NewWorkspace().ShortestPath(src, dst, length)
 }
 
 func (g *Graph) extractPath(src, dst int, cost float64, prev []int32) Path {
-	var rev []int32
-	v := int32(dst)
-	for v != int32(src) {
-		rev = append(rev, v)
-		e := g.edges[prev[v]]
-		v = e.Other(v)
+	hops := 0
+	for v := int32(dst); v != int32(src); hops++ {
+		v = g.edges[prev[v]].Other(v)
 	}
-	nodes := make([]int32, 0, len(rev)+1)
-	nodes = append(nodes, int32(src))
-	for i := len(rev) - 1; i >= 0; i-- {
-		nodes = append(nodes, rev[i])
+	nodes := make([]int32, hops+1)
+	nodes[0] = int32(src)
+	for v, i := int32(dst), hops; v != int32(src); i-- {
+		nodes[i] = v
+		v = g.edges[prev[v]].Other(v)
 	}
 	return Path{Nodes: nodes, Cost: cost}
 }
@@ -112,76 +53,182 @@ func (g *Graph) extractPath(src, dst int, cost float64, prev []int32) Path {
 // KShortestPaths returns up to k loopless shortest paths from src to dst in
 // non-decreasing cost order using Yen's algorithm over Dijkstra. Parallel
 // edges are handled by banning edge indices rather than node pairs.
+//
+// This is the convenience entry point; repeated pair queries should reuse a
+// KSPSolver.
 func (g *Graph) KShortestPaths(src, dst, k int, length []float64) []Path {
+	return g.NewKSPSolver().KShortestPaths(src, dst, k, length)
+}
+
+// candidate is a Yen spur path awaiting selection. seq is the insertion
+// counter: among equal costs the earliest-generated candidate wins, which
+// both matches the pre-heap linear-scan behaviour and keeps the output a
+// deterministic function of the graph.
+type candidate struct {
+	cost  float64
+	seq   int32
+	nodes []int32
+}
+
+// KSPSolver computes k-shortest paths with reusable scratch: one Dijkstra
+// Workspace, dense ban vectors for Yen's spur machinery, a candidate
+// min-heap (replacing an O(k) linear scan per selection), and a
+// path-signature set (replacing O(paths²) sequence comparisons). It is not
+// safe for concurrent use; allocate one per goroutine.
+type KSPSolver struct {
+	g          *Graph
+	ws         *Workspace
+	bannedEdge []bool  // len M, Yen spur edge bans
+	banList    []int32 // edges currently banned, for O(bans) reset
+	bannedNode []bool  // len N, Yen root-node bans
+	cand       []candidate
+	seen       map[string]bool
+	sigBuf     []byte
+	seq        int32
+}
+
+// NewKSPSolver returns a solver sized for g.
+func (g *Graph) NewKSPSolver() *KSPSolver {
+	return &KSPSolver{
+		g:          g,
+		ws:         g.NewWorkspace(),
+		bannedEdge: make([]bool, g.M()),
+		bannedNode: make([]bool, g.N()),
+		seen:       make(map[string]bool),
+	}
+}
+
+// sigOf renders a node sequence into the solver's signature buffer. The
+// map operations below convert it with string(...) in the index expression,
+// which Go performs without allocating on lookup.
+func (s *KSPSolver) sigOf(nodes []int32) []byte {
+	buf := s.sigBuf[:0]
+	for _, v := range nodes {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	s.sigBuf = buf
+	return buf
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst
+// in non-decreasing cost order.
+func (s *KSPSolver) KShortestPaths(src, dst, k int, length []float64) []Path {
 	if k <= 0 {
 		return nil
 	}
-	first, ok := g.ShortestPath(src, dst, length)
+	first, ok := s.ws.ShortestPath(src, dst, length)
 	if !ok {
 		return nil
 	}
+	g := s.g
 	result := []Path{first}
-	var candidates []Path
-	dist := make([]float64, g.N())
-	prev := make([]int32, g.N())
-	bannedNode := make([]bool, g.N())
+	s.cand = s.cand[:0]
+	s.seq = 0
+	clear(s.seen)
+	s.seen[string(s.sigOf(first.Nodes))] = true
 
 	for len(result) < k {
 		last := result[len(result)-1]
+		// Cost of the first i edges of last, via the cheapest parallel edge
+		// per hop — computed once per outer iteration instead of per spur.
+		prefix := make([]float64, len(last.Nodes))
+		for i := 1; i < len(last.Nodes); i++ {
+			prefix[i] = prefix[i-1] + g.minEdgeLen(last.Nodes[i-1], last.Nodes[i], length)
+		}
 		// Each node on the previous path except the terminal is a potential
 		// spur node.
 		for spurIdx := 0; spurIdx < len(last.Nodes)-1; spurIdx++ {
 			spur := last.Nodes[spurIdx]
 			rootNodes := last.Nodes[:spurIdx+1]
-			banned := make(map[int32]bool)
 			// Ban edges that would recreate any already-found path sharing
 			// this root.
 			for _, p := range result {
 				if len(p.Nodes) > spurIdx+1 && sameNodes(p.Nodes[:spurIdx+1], rootNodes) {
 					a, b := p.Nodes[spurIdx], p.Nodes[spurIdx+1]
 					for _, h := range g.adj[a] {
-						if h.Peer == b {
-							banned[h.Edge] = true
+						if h.Peer == b && !s.bannedEdge[h.Edge] {
+							s.bannedEdge[h.Edge] = true
+							s.banList = append(s.banList, h.Edge)
 						}
 					}
 				}
 			}
 			// Ban root nodes (except the spur) to keep paths loopless.
 			for _, v := range rootNodes[:len(rootNodes)-1] {
-				bannedNode[v] = true
+				s.bannedNode[v] = true
 			}
-			g.Dijkstra(int(spur), length, dist, prev, banned, bannedNode)
-			if !math.IsInf(dist[dst], 1) {
-				spurPath := g.extractPath(int(spur), dst, dist[dst], prev)
+			s.ws.DijkstraBanned(int(spur), length, s.bannedEdge, s.bannedNode)
+			if !math.IsInf(s.ws.Dist[dst], 1) {
+				spurPath := g.extractPath(int(spur), dst, s.ws.Dist[dst], s.ws.Prev)
 				total := make([]int32, 0, spurIdx+len(spurPath.Nodes))
 				total = append(total, rootNodes...)
 				total = append(total, spurPath.Nodes[1:]...)
-				cost := spurPath.Cost
-				for i := 0; i < spurIdx; i++ {
-					cost += g.minEdgeLen(last.Nodes[i], last.Nodes[i+1], length)
-				}
-				cand := Path{Nodes: total, Cost: cost}
-				if !containsPath(candidates, cand) && !containsPath(result, cand) {
-					candidates = append(candidates, cand)
+				if sig := s.sigOf(total); !s.seen[string(sig)] {
+					s.seen[string(sig)] = true
+					s.pushCand(candidate{cost: spurPath.Cost + prefix[spurIdx], seq: s.seq, nodes: total})
+					s.seq++
 				}
 			}
 			for _, v := range rootNodes[:len(rootNodes)-1] {
-				bannedNode[v] = false
+				s.bannedNode[v] = false
 			}
+			for _, e := range s.banList {
+				s.bannedEdge[e] = false
+			}
+			s.banList = s.banList[:0]
 		}
-		if len(candidates) == 0 {
+		if len(s.cand) == 0 {
 			break
 		}
-		best := 0
-		for i := 1; i < len(candidates); i++ {
-			if candidates[i].Cost < candidates[best].Cost {
-				best = i
-			}
-		}
-		result = append(result, candidates[best])
-		candidates = append(candidates[:best], candidates[best+1:]...)
+		best := s.popCand()
+		result = append(result, Path{Nodes: best.nodes, Cost: best.cost})
 	}
 	return result
+}
+
+// candLess orders candidates by (cost, insertion order).
+func candLess(a, b candidate) bool {
+	if a.cost != b.cost { //flatlint:ignore floatcmp exact equality picks the insertion-order tie-break branch; either branch is correct
+		return a.cost < b.cost
+	}
+	return a.seq < b.seq
+}
+
+func (s *KSPSolver) pushCand(c candidate) {
+	s.cand = append(s.cand, c)
+	i := len(s.cand) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !candLess(s.cand[i], s.cand[parent]) {
+			break
+		}
+		s.cand[i], s.cand[parent] = s.cand[parent], s.cand[i]
+		i = parent
+	}
+}
+
+func (s *KSPSolver) popCand() candidate {
+	top := s.cand[0]
+	n := len(s.cand) - 1
+	s.cand[0] = s.cand[n]
+	s.cand[n] = candidate{} // drop the nodes reference
+	s.cand = s.cand[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && candLess(s.cand[c+1], s.cand[c]) {
+			c++
+		}
+		if !candLess(s.cand[c], s.cand[i]) {
+			break
+		}
+		s.cand[i], s.cand[c] = s.cand[c], s.cand[i]
+		i = c
+	}
+	return top
 }
 
 func (g *Graph) minEdgeLen(a, b int32, length []float64) float64 {
@@ -204,15 +251,6 @@ func sameNodes(a, b []int32) bool {
 		}
 	}
 	return true
-}
-
-func containsPath(list []Path, p Path) bool {
-	for _, q := range list {
-		if sameNodes(q.Nodes, p.Nodes) {
-			return true
-		}
-	}
-	return false
 }
 
 // UnitLengths returns a length vector assigning 1.0 to every edge, for

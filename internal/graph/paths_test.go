@@ -19,7 +19,7 @@ func TestDijkstraMatchesBFSOnUnitLengths(t *testing.T) {
 		}
 		bfs := g.BFS(0)
 		dist := make([]float64, n)
-		g.Dijkstra(0, g.UnitLengths(), dist, nil, nil, nil)
+		g.Dijkstra(0, g.UnitLengths(), dist, nil)
 		for v := 0; v < n; v++ {
 			if int32(dist[v]) != bfs[v] {
 				return false

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// randomMultigraph builds a connected multigraph with deliberate parallel
+// edges and random lengths in [0.1, 1.1).
+func randomMultigraph(rng *RNG) (*Graph, []float64) {
+	n := 12 + rng.Intn(12)
+	g := New(n)
+	// Connected base: every node links to an earlier one.
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i))
+	}
+	for j := 0; j < n; j++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			g.AddEdge(a, b)
+		}
+	}
+	// Duplicate a few existing edges so parallel edges are always present.
+	for j := 0; j < 4; j++ {
+		e := g.Edge(rng.Intn(g.M()))
+		g.AddEdge(int(e.A), int(e.B))
+	}
+	g.SortAdjacency()
+	length := make([]float64, g.M())
+	for i := range length {
+		length[i] = 0.1 + rng.Float64()
+	}
+	return g, length
+}
+
+// bellmanFord is the reference shortest-distance oracle for the
+// differential test: O(N·M), no heap, trivially correct, honoring the same
+// banned-edge/banned-node semantics as the workspace kernel.
+func bellmanFord(g *Graph, src int, length []float64, bannedEdge, bannedNode []bool) []float64 {
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if bannedNode != nil && bannedNode[src] {
+		return dist
+	}
+	dist[src] = 0
+	for iter := 0; iter < g.N(); iter++ {
+		changed := false
+		for e, ed := range g.Edges() {
+			if bannedEdge != nil && bannedEdge[e] {
+				continue
+			}
+			if bannedNode != nil && (bannedNode[ed.A] || bannedNode[ed.B]) {
+				continue
+			}
+			if d := dist[ed.A] + length[e]; d < dist[ed.B] {
+				dist[ed.B] = d
+				changed = true
+			}
+			if d := dist[ed.B] + length[e]; d < dist[ed.A] {
+				dist[ed.A] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// TestWorkspaceDijkstraMatchesBellmanFord pins the heap kernel against the
+// reference oracle on random multigraphs, with and without banned edges and
+// nodes, reusing one workspace across every run to catch stale-state bugs.
+func TestWorkspaceDijkstraMatchesBellmanFord(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := NewRNG(seed)
+		g, length := randomMultigraph(rng)
+		n := g.N()
+		ws := g.NewWorkspace()
+
+		var bannedEdge, bannedNode []bool
+		if seed%2 == 1 {
+			bannedEdge = make([]bool, g.M())
+			for e := range bannedEdge {
+				bannedEdge[e] = rng.Intn(6) == 0
+			}
+			bannedNode = make([]bool, n)
+			for v := 1; v < n; v++ {
+				bannedNode[v] = rng.Intn(8) == 0
+			}
+		}
+
+		for _, src := range []int{0, rng.Intn(n)} {
+			ws.DijkstraBanned(src, length, bannedEdge, bannedNode)
+			want := bellmanFord(g, src, length, bannedEdge, bannedNode)
+			for v := 0; v < n; v++ {
+				got := ws.Dist[v]
+				if math.IsInf(got, 1) != math.IsInf(want[v], 1) {
+					t.Fatalf("seed %d src %d: reachability of %d differs: dijkstra %v, bellman-ford %v",
+						seed, src, v, got, want[v])
+				}
+				if !math.IsInf(got, 1) && math.Abs(got-want[v]) > 1e-9 {
+					t.Fatalf("seed %d src %d: dist[%d] = %g, bellman-ford %g",
+						seed, src, v, got, want[v])
+				}
+			}
+			// The predecessor tree must be consistent with the distances
+			// and must not use banned edges or traverse banned nodes.
+			for v := 0; v < n; v++ {
+				e := ws.Prev[v]
+				if e < 0 {
+					continue
+				}
+				u := g.Edge(int(e)).Other(int32(v))
+				if bannedEdge != nil && bannedEdge[e] {
+					t.Fatalf("seed %d: prev[%d] uses banned edge %d", seed, v, e)
+				}
+				if bannedNode != nil && (bannedNode[u] || bannedNode[v]) {
+					t.Fatalf("seed %d: prev[%d] traverses a banned node", seed, v)
+				}
+				if math.Abs(ws.Dist[u]+length[e]-ws.Dist[v]) > 1e-9 {
+					t.Fatalf("seed %d: prev tree inconsistent at %d: %g + %g != %g",
+						seed, v, ws.Dist[u], length[e], ws.Dist[v])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceDeterministicTree checks that the shortest-path tree is a
+// function of the graph alone: a reused workspace mid-stream and a fresh
+// one must produce identical Prev vectors, even on unit lengths where
+// almost every pop is a tie.
+func TestWorkspaceDeterministicTree(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		rng := NewRNG(seed)
+		g, _ := randomMultigraph(rng)
+		unit := g.UnitLengths()
+		ws := g.NewWorkspace()
+		ws.Dijkstra(int(rng.Intn(g.N())), unit) // dirty the scratch
+		ws.Dijkstra(0, unit)
+		fresh := g.NewWorkspace()
+		fresh.Dijkstra(0, unit)
+		for v := range fresh.Prev {
+			if ws.Prev[v] != fresh.Prev[v] || ws.Dist[v] != fresh.Dist[v] { //flatlint:ignore floatcmp determinism test demands bit-identical distances
+				t.Fatalf("seed %d: reused workspace diverged at node %d: prev %d vs %d, dist %g vs %g",
+					seed, v, ws.Prev[v], fresh.Prev[v], ws.Dist[v], fresh.Dist[v])
+			}
+		}
+	}
+}
+
+// TestWorkspaceShortestPathMatchesGraphAPI pins the convenience wrappers to
+// the workspace kernel.
+func TestWorkspaceShortestPathMatchesGraphAPI(t *testing.T) {
+	rng := NewRNG(7)
+	g, length := randomMultigraph(rng)
+	ws := g.NewWorkspace()
+	for dst := 1; dst < g.N(); dst++ {
+		p1, ok1 := g.ShortestPath(0, dst, length)
+		p2, ok2 := ws.ShortestPath(0, dst, length)
+		if ok1 != ok2 || !sameNodes(p1.Nodes, p2.Nodes) || p1.Cost != p2.Cost { //flatlint:ignore floatcmp both paths come from the same deterministic kernel
+			t.Fatalf("dst %d: wrapper %v/%v, workspace %v/%v", dst, p1, ok1, p2, ok2)
+		}
+	}
+}

@@ -81,18 +81,9 @@ type problem struct {
 	g       *graph.Graph // switch-level graph
 	cap     []float64    // per-edge capacity
 	node    []int        // problem node -> network node
+	srcs    []int32      // commodity sources in ascending order
 	bysrc   map[int32][]aggCommodity
 	numComm int
-}
-
-// sources returns commodity sources in ascending order.
-func (p *problem) sources() []int32 {
-	keys := make([]int32, 0, len(p.bysrc))
-	for k := range p.bysrc {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
 }
 
 // aggregate maps commodities to switch pairs and merges duplicates.
@@ -156,10 +147,39 @@ func aggregate(nw *topo.Network, commodities []Commodity) (*problem, error) {
 		return keys[i][1] < keys[j][1]
 	})
 	for _, k := range keys {
+		// keys are sorted by source first, so srcs comes out ascending.
+		if len(pr.srcs) == 0 || pr.srcs[len(pr.srcs)-1] != k[0] {
+			pr.srcs = append(pr.srcs, k[0])
+		}
 		pr.bysrc[k[0]] = append(pr.bysrc[k[0]], aggCommodity{dst: k[1], demand: merged[k], id: int32(pr.numComm)})
 		pr.numComm++
 	}
 	return pr, nil
+}
+
+// arena is the per-solve scratch reused across every phase, iteration, and
+// the probe pass: one Dijkstra workspace plus dense per-edge and
+// per-destination state with touched stacks. Nothing in the steady-state
+// FPTAS loop allocates.
+type arena struct {
+	ws      *graph.Workspace
+	req     []float64 // per-edge flow requested this iteration (len M)
+	touched []int32   // edges with req != 0
+	rem     []float64 // per-destination demand left this phase (len N)
+	remID   []int32   // per-destination commodity id for the current source
+	active  []int32   // destinations with remaining demand, ascending
+}
+
+func newArena(pr *problem) *arena {
+	n, m := pr.g.N(), pr.g.M()
+	return &arena{
+		ws:      pr.g.NewWorkspace(),
+		req:     make([]float64, m),
+		touched: make([]int32, 0, m),
+		rem:     make([]float64, n),
+		remID:   make([]int32, n),
+		active:  make([]int32, 0, n),
+	}
 }
 
 // MaxConcurrentFlow runs the FPTAS. All commodity endpoints must be
@@ -182,14 +202,16 @@ func MaxConcurrentFlow(nw *topo.Network, commodities []Commodity, opt Options) (
 		return Result{Lambda: math.Inf(1), UpperBound: math.Inf(1)}, nil
 	}
 
+	ar := newArena(pr)
+
 	// Demand pre-scaling: the Garg-Könemann phase count is ~OPT·log(m)/ε²,
 	// so an instance with tiny OPT (e.g. one hot spot against a whole
 	// fabric) would stop after a fraction of a phase, quantizing λ badly
 	// and leaving late sources unrouted. A one-sweep shortest-path load
 	// probe estimates OPT within the path-stretch factor; scaling demands
 	// by it normalizes OPT to Θ(1).
-	lambdaHat := pr.probeScale()
-	for _, src := range pr.sources() {
+	lambdaHat := pr.probeScale(ar)
+	for _, src := range pr.srcs {
 		comms := pr.bysrc[src]
 		for i := range comms {
 			comms[i].demand *= lambdaHat
@@ -207,33 +229,28 @@ func MaxConcurrentFlow(nw *topo.Network, commodities []Commodity, opt Options) (
 	}
 
 	routed := make([]float64, pr.numComm)
-	n := pr.g.N()
-	dist := make([]float64, n)
-	prev := make([]int32, n)
-	reqEdge := make(map[int32]float64)
-	remaining := make(map[int32]float64) // dst -> demand left this phase
-	remID := make(map[int32]int32)       // dst -> commodity id
-	sources := pr.sources()
-
 	res := Result{UpperBound: math.Inf(1)}
 
 phases:
 	for phase := 1; phase <= opt.MaxPhases; phase++ {
 		res.Phases = phase
 		dualAlpha := 0.0
-		for _, src := range sources {
+		for _, src := range pr.srcs {
 			comms := pr.bysrc[src]
+			ar.active = ar.active[:0]
 			for _, c := range comms {
-				remaining[c.dst] = c.demand
-				remID[c.dst] = c.id
+				ar.rem[c.dst] = c.demand
+				ar.remID[c.dst] = c.id
+				ar.active = append(ar.active, c.dst)
 			}
 			firstIteration := true
-			for len(remaining) > 0 {
+			for len(ar.active) > 0 {
 				if sumLC >= 1 {
 					break phases
 				}
-				pr.g.Dijkstra(int(src), length, dist, prev, nil, nil)
+				ar.ws.Dijkstra(int(src), length)
 				res.Dijkstras++
+				dist, prev := ar.ws.Dist, ar.ws.Prev
 				if firstIteration && !opt.SkipDualBound {
 					for _, c := range comms {
 						dualAlpha += c.demand * dist[c.dst]
@@ -241,41 +258,50 @@ phases:
 					firstIteration = false
 				}
 				// Requested flow per edge if every remaining demand were
-				// sent fully along its shortest path.
-				clearMap(reqEdge)
-				for dst, rem := range remaining {
+				// sent fully along its shortest path. Destinations are
+				// walked in ascending order, so the floating-point
+				// accumulation order — and hence the solve — is
+				// deterministic (the map-based predecessor of this loop
+				// was not).
+				ar.touched = ar.touched[:0]
+				for _, dst := range ar.active {
 					if math.IsInf(dist[dst], 1) {
 						return Result{}, fmt.Errorf("mcf: commodity %d->%d disconnected",
 							pr.node[src], pr.node[dst])
 					}
-					v := dst
-					for v != src {
+					rem := ar.rem[dst]
+					for v := dst; v != src; {
 						e := prev[v]
-						reqEdge[e] += rem
+						if ar.req[e] == 0 { //flatlint:ignore floatcmp req is exactly 0 iff the edge is untouched; demands are strictly positive
+							ar.touched = append(ar.touched, e)
+						}
+						ar.req[e] += rem
 						v = pr.g.Edge(int(e)).Other(v)
 					}
 				}
 				// Largest uniform fraction that respects per-step capacity.
 				alpha := 1.0
-				for e, req := range reqEdge {
-					if a := pr.cap[e] / req; a < alpha {
+				for _, e := range ar.touched {
+					if a := pr.cap[e] / ar.req[e]; a < alpha {
 						alpha = a
 					}
 				}
-				for dst, rem := range remaining {
-					f := alpha * rem
-					routed[remID[dst]] += f
-					if alpha >= 1-1e-15 {
-						delete(remaining, dst)
-					} else {
-						remaining[dst] = rem - f
+				keep := ar.active[:0]
+				for _, dst := range ar.active {
+					f := alpha * ar.rem[dst]
+					routed[ar.remID[dst]] += f
+					if alpha < 1-1e-15 {
+						ar.rem[dst] -= f
+						keep = append(keep, dst)
 					}
 				}
-				for e, req := range reqEdge {
-					sent := alpha * req
+				ar.active = keep
+				for _, e := range ar.touched {
+					sent := alpha * ar.req[e]
 					old := length[e]
 					length[e] = old * (1 + eps*sent/pr.cap[e])
 					sumLC += (length[e] - old) * pr.cap[e]
+					ar.req[e] = 0
 				}
 			}
 		}
@@ -295,7 +321,6 @@ phases:
 			}
 		}
 	}
-	clearMap(remaining)
 
 	// Scale the accumulated flow down to feasibility: an edge's length
 	// multiplies by at least (1+eps) every time it carries cap_e total
@@ -312,8 +337,8 @@ phases:
 // minRouted returns the minimum routed/demand ratio over all commodities.
 func minRouted(pr *problem, routed []float64) float64 {
 	lambda := math.Inf(1)
-	for _, comms := range pr.bysrc {
-		for _, c := range comms {
+	for _, src := range pr.srcs {
+		for _, c := range pr.bysrc[src] {
 			if v := routed[c.id] / c.demand; v < lambda {
 				lambda = v
 			}
@@ -325,21 +350,19 @@ func minRouted(pr *problem, routed []float64) float64 {
 // probeScale routes every demand once along unit-hop shortest paths and
 // returns 1/(max edge load): a constant-factor estimate of the optimal
 // concurrent throughput used only for demand normalization, never for
-// results.
-func (p *problem) probeScale() float64 {
-	n := p.g.N()
-	dist := make([]float64, n)
-	prev := make([]int32, n)
+// results. It borrows the solve arena's workspace and per-edge scratch
+// (ar.req doubles as the load accumulator and is handed back zeroed).
+func (p *problem) probeScale(ar *arena) float64 {
 	unit := p.g.UnitLengths()
-	load := make([]float64, p.g.M())
-	for _, src := range p.sources() {
-		p.g.Dijkstra(int(src), unit, dist, prev, nil, nil)
+	load := ar.req
+	for _, src := range p.srcs {
+		ar.ws.Dijkstra(int(src), unit)
+		dist, prev := ar.ws.Dist, ar.ws.Prev
 		for _, c := range p.bysrc[src] {
 			if math.IsInf(dist[c.dst], 1) {
 				continue // surfaced as an error during the main run
 			}
-			v := c.dst
-			for v != src {
+			for v := c.dst; v != src; {
 				e := prev[v]
 				load[e] += c.demand
 				v = p.g.Edge(int(e)).Other(v)
@@ -347,21 +370,16 @@ func (p *problem) probeScale() float64 {
 		}
 	}
 	maxLoad := 0.0
-	for e, l := range load {
-		if r := l / p.cap[e]; r > maxLoad {
+	for e := range load {
+		if r := load[e] / p.cap[e]; r > maxLoad {
 			maxLoad = r
 		}
+		load[e] = 0
 	}
 	if maxLoad == 0 { //flatlint:ignore floatcmp exactly 0 iff no edge carries any flow; guards the division below
 		return 1
 	}
 	return 1 / maxLoad
-}
-
-func clearMap[K comparable, V any](m map[K]V) {
-	for k := range m {
-		delete(m, k)
-	}
 }
 
 // MaxConcurrentFlowExact solves the instance exactly with the edge-based LP
@@ -392,7 +410,7 @@ func MaxConcurrentFlowExact(nw *topo.Network, commodities []Commodity) (float64,
 		demand   float64
 	}
 	comms := make([]cinfo, pr.numComm)
-	for _, src := range pr.sources() {
+	for _, src := range pr.srcs {
 		for _, c := range pr.bysrc[src] {
 			comms[c.id] = cinfo{src: src, dst: c.dst, demand: c.demand}
 		}

@@ -100,11 +100,15 @@ func ServerPathLengthsParallel(nw *topo.Network, workers int) (PathLengthStats, 
 		}
 	}
 
-	// aggregate folds one source switch's distance vector into the running
-	// sums. It must be called in ascending hostSwitches order: the order of
-	// floating-point additions is part of the package's output contract
-	// (tables print identically for every worker count).
-	aggregate := func(s int, dist []int32) error {
+	// aggregate folds source switch hostSwitches[i]'s distance vector into
+	// the running sums. It must be called in ascending index order: the
+	// order of floating-point additions is part of the package's output
+	// contract (tables print identically for every worker count). Each
+	// unordered pair is visited once, from its lower-indexed side, so the
+	// cross-switch loop starts at i+1 instead of scanning and skipping the
+	// first half.
+	aggregate := func(i int, dist []int32) error {
+		s := hostSwitches[i]
 		cs := total[s]
 		// Same-switch pairs: distance 2.
 		same := cs * (cs - 1) / 2
@@ -118,11 +122,8 @@ func ServerPathLengthsParallel(nw *topo.Network, workers int) (PathLengthStats, 
 			sumPod += float64(samePod) * 2
 			pairsPod += float64(samePod)
 		}
-		// Cross-switch pairs, counted once via t > s.
-		for _, t := range hostSwitches {
-			if t <= s {
-				continue
-			}
+		// Cross-switch pairs, counted once from the lower index.
+		for _, t := range hostSwitches[i+1:] {
 			d := dist[t]
 			if d < 0 {
 				return fmt.Errorf("metrics: switches %d and %d disconnected", s, t)
@@ -149,9 +150,9 @@ func ServerPathLengthsParallel(nw *topo.Network, workers int) (PathLengthStats, 
 		// Streaming sweep: one scratch vector, no per-source allocation.
 		dist := make([]int32, n)
 		queue := make([]int32, n)
-		for _, s := range hostSwitches {
+		for i, s := range hostSwitches {
 			g.BFSInto(s, dist, queue)
-			if err := aggregate(s, dist); err != nil {
+			if err := aggregate(i, dist); err != nil {
 				return PathLengthStats{}, err
 			}
 		}
@@ -162,8 +163,8 @@ func ServerPathLengthsParallel(nw *topo.Network, workers int) (PathLengthStats, 
 		if err != nil {
 			return PathLengthStats{}, err
 		}
-		for i, s := range hostSwitches {
-			if err := aggregate(s, rows[i]); err != nil {
+		for i := range hostSwitches {
+			if err := aggregate(i, rows[i]); err != nil {
 				return PathLengthStats{}, err
 			}
 		}

@@ -180,12 +180,16 @@ func (e *ECMP) NumShortestPaths(src, dst int) (int64, error) {
 }
 
 // KSP computes k loopless shortest paths per pair, the paper's routing for
-// approximated random graphs (citing Jellyfish).
+// approximated random graphs (citing Jellyfish). It keeps a reusable Yen
+// solver (Dijkstra workspace, candidate heap, signature set), so a KSP
+// instance is not safe for concurrent use; the flow simulators that drive
+// it query paths from a single goroutine.
 type KSP struct {
-	nw  *topo.Network
-	sg  *switchGraph
-	k   int
-	len []float64
+	nw     *topo.Network
+	sg     *switchGraph
+	solver *graph.KSPSolver
+	k      int
+	len    []float64
 }
 
 // NewKSP builds a k-shortest-paths scheme (hop-count metric).
@@ -194,7 +198,7 @@ func NewKSP(nw *topo.Network, k int) *KSP {
 		k = 8
 	}
 	sg := newSwitchGraph(nw)
-	return &KSP{nw: nw, sg: sg, k: k, len: sg.g.UnitLengths()}
+	return &KSP{nw: nw, sg: sg, solver: sg.g.NewKSPSolver(), k: k, len: sg.g.UnitLengths()}
 }
 
 // Name implements Scheme.
@@ -213,7 +217,7 @@ func (r *KSP) Paths(src, dst int) ([]graph.Path, error) {
 	if s == d {
 		return []graph.Path{{Nodes: []int32{int32(src)}}}, nil
 	}
-	paths := r.sg.g.KShortestPaths(s, d, r.k, r.len)
+	paths := r.solver.KShortestPaths(s, d, r.k, r.len)
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("routing: %d and %d disconnected", src, dst)
 	}

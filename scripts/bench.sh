@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# bench.sh measures the throughput-solver hot path and records the numbers
+# as the repository's benchmark baseline, BENCH_mcf.json. It runs:
+#
+#   - BenchmarkAblationEpsilon (repo root): the FPTAS on the fig7-style
+#     broadcast workload at three accuracies — the headline solver cost,
+#     with lambda / dual gap / Dijkstra counts as accuracy witnesses;
+#   - BenchmarkFleischer (internal/mcf): fat-tree hot-spot solves;
+#   - BenchmarkDijkstra, BenchmarkDijkstraK32Scale, BenchmarkKShortestPaths
+#     (internal/graph): the shortest-path kernel alone.
+#
+# Usage:
+#
+#	./scripts/bench.sh [output.json]      # default output: BENCH_mcf.json
+#
+# The JSON carries ns/op, B/op, allocs/op, and every custom go-bench metric
+# per benchmark, plus a frozen "baseline" section with the pre-kernel
+# numbers (commit 4a7d409) so the perf trajectory of later PRs has a fixed
+# origin. Compare a fresh run against the checked-in file before replacing
+# it; a regression in ns/op or allocs/op on the solver benchmarks needs a
+# justification in the PR that introduces it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_mcf.json}"
+# Iteration-pinned benchtime for the solver benches keeps the wall time of
+# this script bounded; the microbenchmarks use a time budget for stable
+# per-op numbers.
+SOLVER_BENCHTIME="${SOLVER_BENCHTIME:-5x}"
+MICRO_BENCHTIME="${MICRO_BENCHTIME:-0.5s}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== solver benchmarks (benchtime $SOLVER_BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkAblationEpsilon' -benchmem \
+    -benchtime "$SOLVER_BENCHTIME" . | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkFleischer' -benchmem \
+    -benchtime "$SOLVER_BENCHTIME" ./internal/mcf | tee -a "$tmp"
+
+echo "== kernel microbenchmarks (benchtime $MICRO_BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkDijkstra|BenchmarkKShortestPaths' \
+    -benchmem -benchtime "$MICRO_BENCHTIME" ./internal/graph | tee -a "$tmp"
+
+# Render "BenchmarkX  N  v1 unit1  v2 unit2 ..." lines as JSON objects.
+# Units become keys: ns/op -> ns_op, B/op -> bytes_op, allocs/op ->
+# allocs_op, custom metrics keep their names.
+benchjson() {
+    awk '
+        /^Benchmark/ {
+            sub(/-[0-9]+$/, "", $1) # strip the -GOMAXPROCS suffix
+            printf "        \"%s\": {\"iterations\": %s", $1, $2
+            for (i = 3; i < NF; i += 2) {
+                unit = $(i + 1)
+                gsub(/^B\/op$/, "bytes_op", unit)
+                gsub(/\//, "_", unit)
+                printf ", \"%s\": %s", unit, $i
+            }
+            print "},"
+        }
+    ' "$1" | sed '$ s/,$//'
+}
+
+{
+    echo '{'
+    echo '  "description": "solver benchmark baseline; regenerate with ./scripts/bench.sh",'
+    echo "  \"go\": \"$(go env GOVERSION) $(go env GOOS)/$(go env GOARCH)\","
+    echo "  \"solver_benchtime\": \"$SOLVER_BENCHTIME\","
+    echo '  "baseline": {'
+    echo '    "commit": "4a7d409 (pre zero-allocation kernel)",'
+    echo '    "results": {'
+    cat <<'EOF'
+        "BenchmarkAblationEpsilon/eps=0.05": {"iterations": 2, "ns_op": 512491830, "dijkstras": 18601, "dual_gap": 0.06685, "lambda": 0.006875, "bytes_op": 101939504, "allocs_op": 3706159},
+        "BenchmarkAblationEpsilon/eps=0.1": {"iterations": 2, "ns_op": 138700254, "dijkstras": 4584, "dual_gap": 0.1388, "lambda": 0.006735, "bytes_op": 28515408, "allocs_op": 1018188},
+        "BenchmarkAblationEpsilon/eps=0.2": {"iterations": 2, "ns_op": 32430988, "dijkstras": 1106, "dual_gap": 0.2982, "lambda": 0.006435, "bytes_op": 7200592, "allocs_op": 254300},
+        "BenchmarkFleischer/k=8": {"iterations": 2, "ns_op": 53794670, "bytes_op": 15204208, "allocs_op": 566676},
+        "BenchmarkFleischer/k=12": {"iterations": 2, "ns_op": 193049999, "bytes_op": 70029800, "allocs_op": 2226981},
+        "BenchmarkDijkstra/n=256": {"iterations": 38342, "ns_op": 32395, "bytes_op": 16376, "allocs_op": 521},
+        "BenchmarkDijkstra/n=1024": {"iterations": 8282, "ns_op": 139230, "bytes_op": 62712, "allocs_op": 2059},
+        "BenchmarkKShortestPaths": {"iterations": 1126, "ns_op": 1043646, "bytes_op": 417984, "allocs_op": 13076}
+EOF
+    echo '    }'
+    echo '  },'
+    echo '  "benchmarks": {'
+    echo '    "results": {'
+    benchjson "$tmp"
+    echo '    }'
+    echo '  }'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"

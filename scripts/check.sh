@@ -10,6 +10,11 @@
 #	./scripts/check.sh
 #
 # Every step must pass; the first failure stops the run.
+#
+# check.sh verifies correctness only. Performance is tracked separately by
+# ./scripts/bench.sh, which runs the solver microbenchmarks and refreshes
+# the BENCH_mcf.json baseline; run it when touching internal/graph or
+# internal/mcf hot paths and compare against the checked-in numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
