@@ -13,6 +13,7 @@
 package flattree_test
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"testing"
@@ -60,7 +61,7 @@ func reportLast(b *testing.B, t *experiments.Table, cols map[string]int) {
 // chosen (m, n) = (k/8, 2k/8).
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Fig5(cfgUpTo(16, 0.1))
+		t, err := experiments.Fig5(context.Background(), cfgUpTo(16, 0.1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig6 regenerates Figure 6 (intra-pod APL sweep).
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Fig6(cfgUpTo(16, 0.1))
+		t, err := experiments.Fig6(context.Background(), cfgUpTo(16, 0.1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func BenchmarkFig6(b *testing.B) {
 // -kmax 32 runs the full figure).
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Fig7(cfgUpTo(10, 0.1))
+		t, err := experiments.Fig7(context.Background(), cfgUpTo(10, 0.1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkFig8 regenerates Figure 8 (all-to-all throughput).
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Fig8(cfgUpTo(8, 0.12))
+		t, err := experiments.Fig8(context.Background(), cfgUpTo(8, 0.12))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func BenchmarkHybrid(b *testing.B) {
 	cfg := cfgUpTo(8, 0.12)
 	cfg.HybridK = 8
 	for i := 0; i < b.N; i++ {
-		_, rows, err := experiments.Hybrid(cfg)
+		_, rows, err := experiments.Hybrid(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +147,7 @@ func BenchmarkHybrid(b *testing.B) {
 // BenchmarkProfile runs the §2.4 (m, n) profiling procedure at k=16.
 func BenchmarkProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, res, err := experiments.Profile(cfgUpTo(16, 0.1), 16)
+		_, res, err := experiments.Profile(context.Background(), cfgUpTo(16, 0.1), 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -232,7 +233,7 @@ func BenchmarkAblationEpsilon(b *testing.B) {
 		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
 			var res mcf.Result
 			for i := 0; i < b.N; i++ {
-				res, err = mcf.MaxConcurrentFlow(nw, comms, mcf.Options{Epsilon: eps})
+				res, err = mcf.MaxConcurrentFlow(context.Background(), nw, comms, mcf.Options{Epsilon: eps})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -268,7 +269,7 @@ func BenchmarkAblationRouting(b *testing.B) {
 	b.Run("optimal", func(b *testing.B) {
 		var res mcf.Result
 		for i := 0; i < b.N; i++ {
-			res, err = mcf.MaxConcurrentFlow(nw, mcfComms, mcf.Options{Epsilon: 0.1})
+			res, err = mcf.MaxConcurrentFlow(context.Background(), nw, mcfComms, mcf.Options{Epsilon: 0.1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -373,7 +374,7 @@ func BenchmarkControlPlanePlan(b *testing.B) {
 // — the dynamic face of Figure 5.
 func BenchmarkLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Latency(cfgUpTo(8, 0.1), 8, 0.1)
+		t, err := experiments.Latency(context.Background(), cfgUpTo(8, 0.1), 8, 0.1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -398,7 +399,7 @@ func BenchmarkFaults(b *testing.B) {
 	cfg := cfgUpTo(8, 0.1)
 	cfg.Trials = 2
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Faults(cfg, 8); err != nil {
+		if _, err := experiments.Faults(context.Background(), cfg, 8); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|stats|all
+//	flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|latency|stats|export|all
 //
 // Examples:
 //
@@ -12,18 +12,28 @@
 //	flatsim -kmax 12 -eps 0.1 fig8   # throughput sweep, laptop scale
 //	flatsim -hybridk 30 hybrid       # the paper's 30-pod hybrid study
 //	flatsim -tsv all > results.tsv
+//	flatsim -kmax 8 -trials 5 faultsrecovery   # §5 failure -> recovery table
+//
+// Long sweeps respond to Ctrl-C / SIGTERM and to -timeout by stopping
+// promptly with a partial-result message; already-printed tables remain
+// valid.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"flattree/internal/core"
 	"flattree/internal/experiments"
 	"flattree/internal/fattree"
+	"flattree/internal/faults"
 	"flattree/internal/jellyfish"
 	"flattree/internal/topo"
 	"flattree/internal/twostage"
@@ -47,9 +57,15 @@ func main() {
 		expFmt  = flag.String("format", "dot", "export format: dot or json")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+
+		switchFrac = flag.Float64("switchfrac", 0, "faultsrecovery: fraction of switches failed per trial")
+		burstPods  = flag.Int("burstpods", 0, "faultsrecovery: pods hit by a correlated link burst")
+		burstFrac  = flag.Float64("burstfrac", 0, "faultsrecovery: fraction of each burst pod's links failed")
+		convFrac   = flag.Float64("convfrac", 0, "faultsrecovery: fraction of converter blocks that die (pinning their links)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|latency|stats|export|all\n")
+		fmt.Fprintf(os.Stderr, "usage: flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|latency|stats|export|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,6 +77,16 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Ctrl-C / SIGTERM and -timeout cancel the experiment context; drivers
+	// stop handing out cells promptly and return the context's error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	// Profiling hooks: full-scale runs (e.g. -kmax 32 fig7) can be
@@ -100,41 +126,50 @@ func main() {
 	run = func(name string) {
 		switch name {
 		case "fig5":
-			t, err := experiments.Fig5(cfg)
+			t, err := experiments.Fig5(ctx, cfg)
 			check(err)
 			emit(t)
 		case "fig6":
-			t, err := experiments.Fig6(cfg)
+			t, err := experiments.Fig6(ctx, cfg)
 			check(err)
 			emit(t)
 		case "fig7":
-			t, err := experiments.Fig7(cfg)
+			t, err := experiments.Fig7(ctx, cfg)
 			check(err)
 			emit(t)
 		case "fig8":
-			t, err := experiments.Fig8(cfg)
+			t, err := experiments.Fig8(ctx, cfg)
 			check(err)
 			emit(t)
 		case "hybrid":
-			t, _, err := experiments.Hybrid(cfg)
+			t, _, err := experiments.Hybrid(ctx, cfg)
 			check(err)
 			emit(t)
 		case "profile":
-			t, res, err := experiments.Profile(cfg, *profk)
+			t, res, err := experiments.Profile(ctx, cfg, *profk)
 			check(err)
 			emit(t)
 			fmt.Printf("best: m=%d n=%d apl=%.3f (paper's default: m=%d n=%d)\n",
 				res.BestM, res.BestN, res.BestAPL, res.K/8, 2*res.K/8)
 		case "props":
-			t, _, err := experiments.Props(cfg)
+			t, _, err := experiments.Props(ctx, cfg)
 			check(err)
 			emit(t)
 		case "faults":
-			t, err := experiments.Faults(cfg, cfg.KMax)
+			t, err := experiments.Faults(ctx, cfg, cfg.KMax)
+			check(err)
+			emit(t)
+		case "faultsrecovery":
+			t, err := experiments.FaultsRecovery(ctx, cfg, cfg.KMax, faults.Scenario{
+				SwitchFraction:    *switchFrac,
+				BurstPods:         *burstPods,
+				BurstLinkFraction: *burstFrac,
+				ConverterFraction: *convFrac,
+			})
 			check(err)
 			emit(t)
 		case "latency":
-			t, err := experiments.Latency(cfg, cfg.KMax, 0)
+			t, err := experiments.Latency(ctx, cfg, cfg.KMax, 0)
 			check(err)
 			emit(t)
 		case "stats":
@@ -142,7 +177,7 @@ func main() {
 		case "export":
 			exportNetwork(*expK, *expMode, *expFmt)
 		case "all":
-			for _, n := range []string{"stats", "props", "fig5", "fig6", "fig7", "fig8", "hybrid", "profile", "faults", "latency"} {
+			for _, n := range []string{"stats", "props", "fig5", "fig6", "fig7", "fig8", "hybrid", "profile", "faults", "faultsrecovery", "latency"} {
 				run(n)
 			}
 		default:
@@ -228,6 +263,10 @@ func check(err error) {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "flatsim: run cancelled, results are partial:", err)
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "flatsim:", err)
 	os.Exit(1)
 }

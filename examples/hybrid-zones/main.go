@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,11 +78,11 @@ func measure(ft *core.FlatTree, globalPods int) {
 	aComms := traffic.BroadcastCommodities(acl, 1000)
 	sComms := traffic.AllToAllCommodities(scl, 20)
 
-	resA, err := mcf.MaxConcurrentFlow(nw, aComms, mcf.Options{Epsilon: epsilon})
+	resA, err := mcf.MaxConcurrentFlow(context.Background(), nw, aComms, mcf.Options{Epsilon: epsilon})
 	if err != nil {
 		log.Fatal(err)
 	}
-	resS, err := mcf.MaxConcurrentFlow(nw, sComms, mcf.Options{Epsilon: epsilon})
+	resS, err := mcf.MaxConcurrentFlow(context.Background(), nw, sComms, mcf.Options{Epsilon: epsilon})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func measure(ft *core.FlatTree, globalPods int) {
 	for _, c := range sComms {
 		joint = append(joint, mcf.Commodity{Src: c.Src, Dst: c.Dst, Demand: c.Demand * resS.Lambda})
 	}
-	resJ, err := mcf.MaxConcurrentFlow(nw, joint, mcf.Options{Epsilon: epsilon})
+	resJ, err := mcf.MaxConcurrentFlow(context.Background(), nw, joint, mcf.Options{Epsilon: epsilon})
 	if err != nil {
 		log.Fatal(err)
 	}

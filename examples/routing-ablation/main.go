@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 		comms := traffic.BroadcastCommodities(clusters, 1000)
 
 		fmt.Printf("flat-tree(k=%d) in %s mode, hot-spot broadcast workload:\n", k, mode)
-		optimal, err := mcf.MaxConcurrentFlow(nw, comms, mcf.Options{Epsilon: 0.05})
+		optimal, err := mcf.MaxConcurrentFlow(context.Background(), nw, comms, mcf.Options{Epsilon: 0.05})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package flattree_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -37,11 +38,11 @@ func TestClosModeThroughputEqualsFatTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := mcf.MaxConcurrentFlow(ft.Net(), traffic.AllToAllCommodities(clusters1, 20), mcf.Options{Epsilon: 0.1})
+	r1, err := mcf.MaxConcurrentFlow(context.Background(), ft.Net(), traffic.AllToAllCommodities(clusters1, 20), mcf.Options{Epsilon: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := mcf.MaxConcurrentFlow(fat.Net, traffic.AllToAllCommodities(clusters2, 20), mcf.Options{Epsilon: 0.1})
+	r2, err := mcf.MaxConcurrentFlow(context.Background(), fat.Net, traffic.AllToAllCommodities(clusters2, 20), mcf.Options{Epsilon: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestMCFRespectsCutBound(t *testing.T) {
 	for _, sv := range servers[1:100] {
 		comms = append(comms, mcf.Commodity{Src: hot, Dst: sv, Demand: 1})
 	}
-	res, err := mcf.MaxConcurrentFlow(nw, comms, mcf.Options{Epsilon: 0.1})
+	res, err := mcf.MaxConcurrentFlow(context.Background(), nw, comms, mcf.Options{Epsilon: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}

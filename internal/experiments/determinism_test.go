@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
+
+	"flattree/internal/faults"
 )
 
 // TestTablesByteIdenticalAcrossWorkerCounts pins the package contract from
@@ -16,17 +19,21 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		name string
 		run  func(cfg Config) (*Table, error)
 	}{
-		{"fig5", Fig5},
-		{"fig6", Fig6},
-		{"fig7", Fig7},
+		{"fig5", func(cfg Config) (*Table, error) { return Fig5(context.Background(), cfg) }},
+		{"fig6", func(cfg Config) (*Table, error) { return Fig6(context.Background(), cfg) }},
+		{"fig7", func(cfg Config) (*Table, error) { return Fig7(context.Background(), cfg) }},
 		{"fig8", func(cfg Config) (*Table, error) {
 			cfg.KMin, cfg.KMax = 6, 6
-			return Fig8(cfg)
+			return Fig8(context.Background(), cfg)
 		}},
-		{"faults", func(cfg Config) (*Table, error) { return Faults(cfg, 6) }},
-		{"latency", func(cfg Config) (*Table, error) { return Latency(cfg, 6, 0.05) }},
+		{"faults", func(cfg Config) (*Table, error) { return Faults(context.Background(), cfg, 6) }},
+		{"faultsrecovery", func(cfg Config) (*Table, error) {
+			cfg.Epsilon = 0.3 // determinism is epsilon-independent; keep the -race run fast
+			return FaultsRecovery(context.Background(), cfg, 6, faults.Scenario{})
+		}},
+		{"latency", func(cfg Config) (*Table, error) { return Latency(context.Background(), cfg, 6, 0.05) }},
 		{"profile", func(cfg Config) (*Table, error) {
-			tab, _, err := Profile(cfg, 8)
+			tab, _, err := Profile(context.Background(), cfg, 8)
 			return tab, err
 		}},
 	}

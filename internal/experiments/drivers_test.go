@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestFaultsDriver(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Trials = 2
-	tab, err := Faults(cfg, 8)
+	tab, err := Faults(context.Background(), cfg, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestFaultsDriver(t *testing.T) {
 }
 
 func TestLatencyDriver(t *testing.T) {
-	tab, err := Latency(smallCfg(), 6, 0.05)
+	tab, err := Latency(context.Background(), smallCfg(), 6, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}

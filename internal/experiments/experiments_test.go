@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -38,7 +39,7 @@ func TestKsSweep(t *testing.T) {
 // flat-tree at (m,n)=(k/8,2k/8) is notably shorter than fat-tree and within
 // 5% of the random graph.
 func TestFig5Shape(t *testing.T) {
-	tab, err := Fig5(smallCfg())
+	tab, err := Fig5(context.Background(), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestFig5Shape(t *testing.T) {
 // TestFig6Shape: flat-tree local mode beats fat-tree and random graph on
 // intra-pod APL, and random graph is worst (servers scatter).
 func TestFig6Shape(t *testing.T) {
-	tab, err := Fig6(smallCfg())
+	tab, err := Fig6(context.Background(), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestFig6Shape(t *testing.T) {
 // TestFig7Shape: flat-tree throughput ≈ random graph, both clearly above
 // fat-tree, and throughput grows with k.
 func TestFig7Shape(t *testing.T) {
-	tab, err := Fig7(smallCfg())
+	tab, err := Fig7(context.Background(), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFig7Shape(t *testing.T) {
 func TestFig8Shape(t *testing.T) {
 	cfg := smallCfg()
 	cfg.KMin, cfg.KMax = 6, 8
-	tab, err := Fig8(cfg)
+	tab, err := Fig8(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestFig8Shape(t *testing.T) {
 // tolerance, and the joint interference factor stays near 1.
 func TestHybridNoInterference(t *testing.T) {
 	cfg := smallCfg()
-	tab, rows, err := Hybrid(cfg)
+	tab, rows, err := Hybrid(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestHybridNoInterference(t *testing.T) {
 // TestProfileFindsPaperOptimum: the §2.4 profiling procedure should land on
 // (or tie with) the paper's (k/8, 2k/8) for a representative k.
 func TestProfileFindsPaperOptimum(t *testing.T) {
-	tab, res, err := Profile(smallCfg(), 16)
+	tab, res, err := Profile(context.Background(), smallCfg(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestProfileFindsPaperOptimum(t *testing.T) {
 func TestPropsPattern1Uniform(t *testing.T) {
 	cfg := smallCfg()
 	cfg.KMin, cfg.KMax = 8, 16
-	_, reports, err := Props(cfg)
+	_, reports, err := Props(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

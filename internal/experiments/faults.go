@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flattree/internal/core"
@@ -23,7 +24,7 @@ import (
 // where the network is most degraded.) The "disc" column reports how many
 // trials left the surviving servers less than fully connected, so the
 // information the APL mean no longer hides is still visible.
-func Faults(cfg Config, k int) (*Table, error) {
+func Faults(ctx context.Context, cfg Config, k int) (*Table, error) {
 	if k == 0 {
 		k = 8
 	}
@@ -52,7 +53,7 @@ func Faults(cfg Config, k int) (*Table, error) {
 	}
 	seeds := cfg.trialSeeds()
 	perFrac := len(targets) * trials
-	results, err := parallel.Map(len(fracs)*perFrac, cfg.workers(), func(idx int) (trialResult, error) {
+	results, err := parallel.MapCtx(ctx, len(fracs)*perFrac, cfg.workers(), func(idx int) (trialResult, error) {
 		fi, rest := idx/perFrac, idx%perFrac
 		ni, tr := rest/trials, rest%trials
 		d, err := faults.Degrade(targets[ni], faults.Scenario{

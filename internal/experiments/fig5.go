@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flattree/internal/core"
@@ -45,7 +46,7 @@ var Fig5Settings = []MNSetting{
 // global-random mode under each (m, n) setting. Every (k, column) cell —
 // one topology build plus an all-pairs BFS sweep — runs concurrently
 // through the worker pool.
-func Fig5(cfg Config) (*Table, error) {
+func Fig5(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 5: average path length of server pairs in the entire network",
 		Header: []string{"k", "fat-tree", "random-graph"},
@@ -55,7 +56,7 @@ func Fig5(cfg Config) (*Table, error) {
 	}
 	ks := cfg.Ks()
 	cols := 2 + len(Fig5Settings)
-	cells, err := parallel.Map(len(ks)*cols, cfg.workers(), func(idx int) (string, error) {
+	cells, err := parallel.MapCtx(ctx, len(ks)*cols, cfg.workers(), func(idx int) (string, error) {
 		k, ci := ks[idx/cols], idx%cols
 		var nw *topo.Network
 		switch ci {
@@ -115,7 +116,7 @@ type ProfileResult struct {
 // length. The paper finds (k/8, 2k/8). The settings evaluate concurrently
 // (cfg.Parallelism workers); the argmin scan runs over the merged results
 // in sweep order, so ties resolve identically at every worker count.
-func Profile(cfg Config, k int) (*Table, ProfileResult, error) {
+func Profile(ctx context.Context, cfg Config, k int) (*Table, ProfileResult, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Profiling m,n for k=%d (§2.4): APL per setting", k),
 		Header: []string{"m", "n", "apl"},
@@ -134,7 +135,7 @@ func Profile(cfg Config, k int) (*Table, ProfileResult, error) {
 			settings = append(settings, setting{m, n})
 		}
 	}
-	apls, err := parallel.Map(len(settings), cfg.workers(), func(i int) (float64, error) {
+	apls, err := parallel.MapCtx(ctx, len(settings), cfg.workers(), func(i int) (float64, error) {
 		ft, err := core.Build(core.Params{K: k, M: settings[i].m, N: settings[i].n})
 		if err != nil {
 			return 0, err

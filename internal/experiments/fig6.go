@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flattree/internal/core"
@@ -14,7 +15,7 @@ import (
 // the global random graph, and the two-stage random graph. The per-k suite
 // builds and the per-topology BFS sweeps both fan out through the worker
 // pool.
-func Fig6(cfg Config) (*Table, error) {
+func Fig6(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 6: average path length of server pairs in each pod",
 		Header: []string{"k", "flat-tree", "fat-tree", "random-graph", "two-stage-rg"},
@@ -24,7 +25,7 @@ func Fig6(cfg Config) (*Table, error) {
 		return t, nil
 	}
 	workers := cfg.workers()
-	suites, err := parallel.Map(len(ks), workers, func(i int) (*suite, error) {
+	suites, err := parallel.MapCtx(ctx, len(ks), workers, func(i int) (*suite, error) {
 		return buildSuite(ks[i], cfg.Seed, core.ModeLocalRandom, true)
 	})
 	if err != nil {
@@ -34,7 +35,7 @@ func Fig6(cfg Config) (*Table, error) {
 		return []*topo.Network{s.flat.Net(), s.fat.Net, s.rg.Net, s.twoStage.Net}
 	}
 	const cols = 4
-	cells, err := parallel.Map(len(ks)*cols, workers, func(idx int) (string, error) {
+	cells, err := parallel.MapCtx(ctx, len(ks)*cols, workers, func(idx int) (string, error) {
 		ki, ci := idx/cols, idx%cols
 		apl, err := metrics.IntraPodAveragePathLength(netsOf(suites[ki])[ci])
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flattree/internal/core"
@@ -13,7 +14,7 @@ import (
 // throughput runs the paper's throughput methodology on one topology: build
 // clusters under the placement policy, emit the pattern's commodities, and
 // solve maximum concurrent flow.
-func throughput(nw *topo.Network, serverIDs []int, clusterSize int, placement traffic.Placement,
+func throughput(ctx context.Context, nw *topo.Network, serverIDs []int, clusterSize int, placement traffic.Placement,
 	pattern func([]traffic.Cluster) []mcf.Commodity, seed uint64, epsilon float64) (mcf.Result, error) {
 	clusters, err := traffic.MakeClusters(nw, serverIDs, traffic.Spec{
 		ClusterSize: clusterSize,
@@ -23,7 +24,7 @@ func throughput(nw *topo.Network, serverIDs []int, clusterSize int, placement tr
 	if err != nil {
 		return mcf.Result{}, err
 	}
-	return mcf.MaxConcurrentFlow(nw, pattern(clusters), mcf.Options{Epsilon: epsilon})
+	return mcf.MaxConcurrentFlow(ctx, nw, pattern(clusters), mcf.Options{Epsilon: epsilon})
 }
 
 // BroadcastClusterSize is the paper's hot-spot cluster size (§3.3).
@@ -50,7 +51,7 @@ func allToAllPattern(cl []traffic.Cluster) []mcf.Commodity {
 // the sweep is the hottest loop in the repository, and every cell is an
 // independent LP solve — and the trial averages are reduced in trial order,
 // so the table is byte-identical for every Parallelism setting.
-func throughputFigure(cfg Config, fig string, t *Table, mode core.Mode, withTwoStage bool,
+func throughputFigure(ctx context.Context, cfg Config, fig string, t *Table, mode core.Mode, withTwoStage bool,
 	clusterSize int, placements []traffic.Placement,
 	pattern func([]traffic.Cluster) []mcf.Commodity,
 	netsOf func(*suite) []*topo.Network) (*Table, error) {
@@ -60,7 +61,7 @@ func throughputFigure(cfg Config, fig string, t *Table, mode core.Mode, withTwoS
 		return t, nil
 	}
 	workers := cfg.workers()
-	suites, err := parallel.Map(len(ks), workers, func(i int) (*suite, error) {
+	suites, err := parallel.MapCtx(ctx, len(ks), workers, func(i int) (*suite, error) {
 		return buildSuite(ks[i], cfg.Seed, mode, withTwoStage)
 	})
 	if err != nil {
@@ -72,11 +73,11 @@ func throughputFigure(cfg Config, fig string, t *Table, mode core.Mode, withTwoS
 	numPl := len(placements)
 	cols := len(netsOf(suites[0])) * numPl
 	perK := cols * trials
-	lambdas, err := parallel.Map(len(ks)*perK, workers, func(idx int) (float64, error) {
+	lambdas, err := parallel.MapCtx(ctx, len(ks)*perK, workers, func(idx int) (float64, error) {
 		ki, rest := idx/perK, idx%perK
 		ci, tr := rest/trials, rest%trials
 		nw := netsOf(suites[ki])[ci/numPl]
-		res, err := throughput(nw, serverIDsOf(nw), clusterSize, placements[ci%numPl],
+		res, err := throughput(ctx, nw, serverIDsOf(nw), clusterSize, placements[ci%numPl],
 			pattern, seeds.Seed(uint64(tr)), cfg.Epsilon)
 		if err != nil {
 			return 0, fmt.Errorf("%s k=%d net=%d trial=%d: %w", fig, ks[ki], ci/numPl, tr, err)
@@ -105,7 +106,7 @@ func throughputFigure(cfg Config, fig string, t *Table, mode core.Mode, withTwoS
 // 1000-server clusters for fat-tree, flat-tree (global-random mode), and
 // random graph, each with strong locality and no locality, averaged over
 // cfg.trials() placement seeds.
-func Fig7(cfg Config) (*Table, error) {
+func Fig7(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Title: "Figure 7: throughput of broadcast/incast traffic in 1000-server clusters",
 		Header: []string{"k",
@@ -113,7 +114,7 @@ func Fig7(cfg Config) (*Table, error) {
 			"flat-tree/loc", "flat-tree/noloc",
 			"random-graph/loc", "random-graph/noloc"},
 	}
-	return throughputFigure(cfg, "fig7", t, core.ModeGlobalRandom, false,
+	return throughputFigure(ctx, cfg, "fig7", t, core.ModeGlobalRandom, false,
 		BroadcastClusterSize,
 		[]traffic.Placement{traffic.Locality, traffic.NoLocality},
 		broadcastPattern,
@@ -124,7 +125,7 @@ func Fig7(cfg Config) (*Table, error) {
 // clusters for fat-tree, flat-tree (local-random mode), two-stage random
 // graph, and random graph, each with strong and weak locality, averaged
 // over cfg.trials() placement seeds.
-func Fig8(cfg Config) (*Table, error) {
+func Fig8(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Title: "Figure 8: throughput of all-to-all traffic in 20-server clusters",
 		Header: []string{"k",
@@ -133,7 +134,7 @@ func Fig8(cfg Config) (*Table, error) {
 			"two-stage-rg/loc", "two-stage-rg/weak",
 			"random-graph/loc", "random-graph/weak"},
 	}
-	return throughputFigure(cfg, "fig8", t, core.ModeLocalRandom, true,
+	return throughputFigure(ctx, cfg, "fig8", t, core.ModeLocalRandom, true,
 		AllToAllClusterSize,
 		[]traffic.Placement{traffic.Locality, traffic.WeakLocality},
 		allToAllPattern,

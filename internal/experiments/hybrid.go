@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flattree/internal/core"
@@ -37,7 +38,7 @@ type HybridRow struct {
 // per-proportion network snapshots are prepared sequentially; the nine
 // proportions' cluster builds and MCF solves (three LPs each) then fan out
 // through the worker pool and are merged back in proportion order.
-func Hybrid(cfg Config) (*Table, []HybridRow, error) {
+func Hybrid(ctx context.Context, cfg Config) (*Table, []HybridRow, error) {
 	k := cfg.HybridK
 	if k == 0 {
 		k = 10
@@ -48,11 +49,11 @@ func Hybrid(cfg Config) (*Table, []HybridRow, error) {
 	}
 
 	// Reference: complete networks.
-	refGlobal, err := completeRef(ft, core.ModeGlobalRandom, BroadcastClusterSize, broadcastPattern, cfg)
+	refGlobal, err := completeRef(ctx, ft, core.ModeGlobalRandom, BroadcastClusterSize, broadcastPattern, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	refLocal, err := completeRef(ft, core.ModeLocalRandom, AllToAllClusterSize, allToAllPattern, cfg)
+	refLocal, err := completeRef(ctx, ft, core.ModeLocalRandom, AllToAllClusterSize, allToAllPattern, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -90,7 +91,7 @@ func Hybrid(cfg Config) (*Table, []HybridRow, error) {
 		cases = append(cases, hybridCase{zg: zg, nw: ft.Net()})
 	}
 
-	rows, err := parallel.Map(len(cases), cfg.workers(), func(i int) (HybridRow, error) {
+	rows, err := parallel.MapCtx(ctx, len(cases), cfg.workers(), func(i int) (HybridRow, error) {
 		zg, nw := cases[i].zg, cases[i].nw
 
 		// Zone server sets (servers keep home-pod labels).
@@ -115,11 +116,11 @@ func Hybrid(cfg Config) (*Table, []HybridRow, error) {
 		gComms := broadcastPattern(gcl)
 		lComms := allToAllPattern(lcl)
 
-		resG, err := mcf.MaxConcurrentFlow(nw, gComms, mcf.Options{Epsilon: cfg.Epsilon})
+		resG, err := mcf.MaxConcurrentFlow(ctx, nw, gComms, mcf.Options{Epsilon: cfg.Epsilon})
 		if err != nil {
 			return HybridRow{}, err
 		}
-		resL, err := mcf.MaxConcurrentFlow(nw, lComms, mcf.Options{Epsilon: cfg.Epsilon})
+		resL, err := mcf.MaxConcurrentFlow(ctx, nw, lComms, mcf.Options{Epsilon: cfg.Epsilon})
 		if err != nil {
 			return HybridRow{}, err
 		}
@@ -135,7 +136,7 @@ func Hybrid(cfg Config) (*Table, []HybridRow, error) {
 		for _, c := range lComms {
 			joint = append(joint, mcf.Commodity{Src: c.Src, Dst: c.Dst, Demand: c.Demand * resL.Lambda})
 		}
-		resJ, err := mcf.MaxConcurrentFlow(nw, joint, mcf.Options{Epsilon: cfg.Epsilon})
+		resJ, err := mcf.MaxConcurrentFlow(ctx, nw, joint, mcf.Options{Epsilon: cfg.Epsilon})
 		if err != nil {
 			return HybridRow{}, err
 		}
@@ -162,13 +163,13 @@ func Hybrid(cfg Config) (*Table, []HybridRow, error) {
 
 // completeRef computes the throughput of the complete network in one mode
 // under the full-network version of a workload.
-func completeRef(ft *core.FlatTree, mode core.Mode, clusterSize int,
+func completeRef(ctx context.Context, ft *core.FlatTree, mode core.Mode, clusterSize int,
 	pattern func([]traffic.Cluster) []mcf.Commodity, cfg Config) (float64, error) {
 	if err := ft.SetUniformMode(mode); err != nil {
 		return 0, err
 	}
 	nw := ft.Net()
-	res, err := throughput(nw, serverIDsOf(nw), clusterSize, traffic.Locality, pattern, cfg.Seed, cfg.Epsilon)
+	res, err := throughput(ctx, nw, serverIDsOf(nw), clusterSize, traffic.Locality, pattern, cfg.Seed, cfg.Epsilon)
 	if err != nil {
 		return 0, err
 	}

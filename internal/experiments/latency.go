@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flattree/internal/core"
@@ -19,7 +20,7 @@ import (
 // sequentially (mode flips mutate the flat-tree, though each Net() snapshot
 // is immutable), then the five simulations — each with its own RNG seeded
 // from cfg.Seed — run concurrently.
-func Latency(cfg Config, k int, load float64) (*Table, error) {
+func Latency(ctx context.Context, cfg Config, k int, load float64) (*Table, error) {
 	if k == 0 {
 		k = 8
 	}
@@ -49,7 +50,7 @@ func Latency(cfg Config, k int, load float64) (*Table, error) {
 		}
 		targets = append(targets, target{"flat-tree/" + mode.String(), s.flat.Net()})
 	}
-	rows, err := parallel.Map(len(targets), cfg.workers(), func(i int) ([]string, error) {
+	rows, err := parallel.MapCtx(ctx, len(targets), cfg.workers(), func(i int) ([]string, error) {
 		tg := targets[i]
 		servers := tg.nw.Servers()
 		rate := load * float64(len(servers))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flattree/internal/core"
@@ -22,7 +23,7 @@ type PropsReport struct {
 
 // Props evaluates both wiring patterns across the sweep in global-random
 // mode.
-func Props(cfg Config) (*Table, []PropsReport, error) {
+func Props(ctx context.Context, cfg Config) (*Table, []PropsReport, error) {
 	t := &Table{
 		Title: "§2.3 Properties 1-2: per-core uniformity of servers and link types (global-random mode)",
 		Header: []string{"k", "pattern", "repeat-period",
@@ -30,6 +31,9 @@ func Props(cfg Config) (*Table, []PropsReport, error) {
 	}
 	var reports []PropsReport
 	for _, k := range cfg.Ks() {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		m, n := core.DefaultMN(k)
 		for _, pat := range []core.Pattern{core.Pattern1, core.Pattern2} {
 			ft, err := core.Build(core.Params{K: k, M: m, N: n, Pattern: pat})

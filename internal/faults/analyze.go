@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"fmt"
+
+	"flattree/internal/topo"
+)
+
+// Report quantifies a degraded network.
+type Report struct {
+	// Servers surviving and total switch-switch links remaining.
+	Servers, SwitchLinks int
+	// Connected reports whether all surviving servers can still reach
+	// each other.
+	Connected bool
+	// LargestComponentFrac is the fraction of surviving servers in the
+	// largest connected component.
+	LargestComponentFrac float64
+	// APL is the average path length over server pairs in the largest
+	// component (NaN if fewer than 2 servers survive connected).
+	APL float64
+}
+
+// Analyze computes a degradation report.
+func Analyze(nw *topo.Network) (Report, error) {
+	r := Report{Servers: len(nw.Servers())}
+	for _, l := range nw.Links {
+		if nw.Nodes[l.A].Kind.IsSwitch() && nw.Nodes[l.B].Kind.IsSwitch() {
+			r.SwitchLinks++
+		}
+	}
+	if r.Servers == 0 {
+		return r, nil
+	}
+
+	// Component analysis over the full node graph.
+	g := nw.Graph()
+	comp := make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int32, g.N())
+	numComp := int32(0)
+	for v := 0; v < g.N(); v++ {
+		if comp[v] >= 0 || g.Degree(v) == 0 {
+			continue
+		}
+		comp[v] = numComp
+		queue[0] = int32(v)
+		head, tail := 0, 1
+		for head < tail {
+			u := queue[head]
+			head++
+			for _, h := range g.Neighbors(int(u)) {
+				if comp[h.Peer] < 0 {
+					comp[h.Peer] = numComp
+					queue[tail] = h.Peer
+					tail++
+				}
+			}
+		}
+		numComp++
+	}
+	serversPerComp := make(map[int32]int)
+	for _, sv := range nw.Servers() {
+		serversPerComp[comp[sv]]++
+	}
+	best, bestComp := 0, int32(-1)
+	for cpt, cnt := range serversPerComp {
+		if cnt > best {
+			best, bestComp = cnt, cpt
+		}
+	}
+	r.LargestComponentFrac = float64(best) / float64(r.Servers)
+	r.Connected = len(serversPerComp) == 1 && best == r.Servers
+
+	// APL inside the largest component.
+	if best < 2 {
+		return r, nil
+	}
+	var hostSwitches []int
+	counts := make(map[int]int64)
+	for _, sv := range nw.Servers() {
+		if comp[sv] != bestComp {
+			continue
+		}
+		sw := nw.HostSwitch(sv)
+		if counts[sw] == 0 {
+			hostSwitches = append(hostSwitches, sw)
+		}
+		counts[sw]++
+	}
+	dist := make([]int32, g.N())
+	var sum, pairs float64
+	for _, s := range hostSwitches {
+		g.BFSInto(s, dist, queue)
+		cs := counts[s]
+		same := cs * (cs - 1) / 2
+		sum += float64(same) * 2
+		pairs += float64(same)
+		for _, t := range hostSwitches {
+			if t <= s {
+				continue
+			}
+			if dist[t] < 0 {
+				return r, fmt.Errorf("faults: component analysis inconsistent")
+			}
+			cnt := cs * counts[t]
+			sum += float64(cnt) * float64(int(dist[t])+2)
+			pairs += float64(cnt)
+		}
+	}
+	if pairs > 0 {
+		r.APL = sum / pairs
+	}
+	return r, nil
+}

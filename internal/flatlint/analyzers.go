@@ -24,6 +24,7 @@ var analyzers = []analyzer{
 	{name: "layering", run: runLayering},
 	{name: "ignorederr", internalOnly: true, run: runIgnorederr},
 	{name: "nopanic", internalOnly: true, run: runNopanic},
+	{name: "ctxbudget", run: runCtxbudget},
 }
 
 var knownAnalyzers = func() map[string]bool {
@@ -306,6 +307,59 @@ func callName(call *ast.CallExpr) string {
 		return fn.Sel.Name
 	default:
 		return "call"
+	}
+}
+
+// --------------------------------------------------------------- ctxbudget
+
+// isContextType reports whether t is the context.Context interface.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// runCtxbudget enforces the repo's cancellation conventions: an exported
+// function or method that accepts a context.Context must take it as the
+// first parameter (so every call site reads uniformly and the context is
+// never an afterthought), and a context must never be stored in a struct
+// field — a context is call-scoped, and stashing one in a struct detaches
+// cancellation from the call tree that owns it.
+func runCtxbudget(pc *pkgChecker) {
+	info := pc.pkg.Info
+	for _, f := range pc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if !n.Name.IsExported() || n.Type.Params == nil {
+					return true
+				}
+				idx := 0 // flattened parameter index across grouped names
+				for _, field := range n.Type.Params.List {
+					width := len(field.Names)
+					if width == 0 {
+						width = 1
+					}
+					if isContextType(info.TypeOf(field.Type)) && idx != 0 {
+						pc.reportf("ctxbudget", field.Pos(),
+							"exported %s takes a context.Context after other parameters; ctx must come first",
+							n.Name.Name)
+					}
+					idx += width
+				}
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if isContextType(info.TypeOf(field.Type)) {
+						pc.reportf("ctxbudget", field.Pos(),
+							"context.Context stored in a struct field; contexts are call-scoped — pass ctx as the first parameter instead")
+					}
+				}
+			}
+			return true
+		})
 	}
 }
 

@@ -1,0 +1,20 @@
+// Package routing holds the ctxbudget fixture: a context stored in a
+// struct field and a context accepted after other parameters.
+package routing
+
+import "context"
+
+type controller struct {
+	ctx context.Context // stored context: finding
+}
+
+// Route accepts its context in the wrong position: finding.
+func Route(n int, ctx context.Context) error {
+	c := controller{ctx: ctx}
+	return c.ctx.Err()
+}
+
+//flatlint:ignore ctxbudget wire-compatible legacy signature, kept until callers migrate
+func Legacy(id string, ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,210 @@
+package graph
+
+import "fmt"
+
+// AugmentResult reports what AugmentRandom did to the graph.
+type AugmentResult struct {
+	// Added holds the edges created by the augmentation. It is recomputed
+	// from the final edge table in index order, so it is deterministic for
+	// a fixed (graph, free, rng) input.
+	Added []Edge
+	// Broken holds the indices — in the caller's pre-augmentation edge
+	// numbering — of original edges that swap moves removed. Surviving
+	// original edges may occupy different indices afterwards; only the
+	// pre-augmentation numbering is stable, which is also what the
+	// canBreak callback receives.
+	Broken []int
+	// Leftover is the number of free ports the augmentation could not
+	// consume (odd port counts, or swap moves exhausted).
+	Leftover int
+}
+
+// AugmentRandom wires the free ports of an existing graph together using
+// the same randomized procedure as RandomDegree: join random non-adjacent
+// port-owning pairs, and when stuck, break an existing edge and splice a
+// free-port node into it (the Jellyfish edge swap). free[v] is the number
+// of additional edges node v may receive; g is modified in place, so pass
+// a Clone to keep the original.
+//
+// canBreak, if non-nil, restricts which pre-existing edges swap moves may
+// remove; it is called with an edge index in the pre-augmentation
+// numbering. Edges created by the augmentation itself are always fair game
+// for later swaps. The procedure is deterministic for a fixed rng and
+// never adds self loops or parallel edges.
+//
+// This is the self-recovery primitive from §5 of the flat-tree paper: the
+// ports freed by failed peers are rewired into the surviving fabric the
+// same way the random (Jellyfish) topology was built in the first place.
+func AugmentRandom(g *Graph, free []int, canBreak func(edgeID int) bool, rng *RNG) (AugmentResult, error) {
+	var res AugmentResult
+	n := g.N()
+	if len(free) != n {
+		return res, fmt.Errorf("graph: AugmentRandom: len(free)=%d, graph has %d nodes", len(free), n)
+	}
+	for v, f := range free {
+		if f < 0 {
+			return res, fmt.Errorf("graph: AugmentRandom: negative free port count %d at node %d", f, v)
+		}
+	}
+	fr := append([]int(nil), free...)
+
+	// orig maps the current edge index to the caller's pre-augmentation
+	// edge index, or -1 for edges we added. removeEdgeAt swaps the last
+	// edge into the vacated slot, so the mapping mirrors that move.
+	orig := make([]int32, g.M())
+	for i := range orig {
+		orig[i] = int32(i)
+	}
+	addEdge := func(a, b int) {
+		g.AddEdge(a, b)
+		orig = append(orig, -1)
+	}
+	removeAt := func(idx int) {
+		if o := orig[idx]; o >= 0 {
+			res.Broken = append(res.Broken, int(o))
+		}
+		last := len(orig) - 1
+		orig[idx] = orig[last]
+		orig = orig[:last]
+		g.removeEdgeAt(int32(idx))
+	}
+	breakable := func(idx int) bool {
+		o := orig[idx]
+		return o < 0 || canBreak == nil || canBreak(int(o))
+	}
+
+	active := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if fr[v] > 0 {
+			active = append(active, v)
+		}
+	}
+	removeInactive := func() {
+		w := 0
+		for _, v := range active {
+			if fr[v] > 0 {
+				active[w] = v
+				w++
+			}
+		}
+		active = active[:w]
+	}
+
+	stuck := 0
+	for len(active) >= 2 || (len(active) == 1 && fr[active[0]] >= 2) {
+		paired := false
+		for try := 0; try < 32 && len(active) >= 2; try++ {
+			i := rng.Intn(len(active))
+			j := rng.Intn(len(active))
+			if i == j {
+				continue
+			}
+			a, b := active[i], active[j]
+			if fr[a] == 0 || fr[b] == 0 {
+				removeInactive()
+				continue
+			}
+			if g.HasEdge(a, b) {
+				continue
+			}
+			addEdge(a, b)
+			fr[a]--
+			fr[b]--
+			paired = true
+			break
+		}
+		if paired {
+			stuck = 0
+			removeInactive()
+			continue
+		}
+		removeInactive()
+		if len(active) == 0 {
+			break
+		}
+		x := -1
+		for _, v := range active {
+			if fr[v] >= 2 {
+				x = v
+				break
+			}
+		}
+		if g.M() == 0 {
+			break
+		}
+		swapped := false
+		if x >= 0 {
+			// Swap type 1: x has two free ports; splice it into a random
+			// breakable edge (u,w) not touching x.
+			for try := 0; try < 256; try++ {
+				idx := rng.Intn(g.M())
+				e := g.Edge(idx)
+				u, w := int(e.A), int(e.B)
+				if u == x || w == x || g.HasEdge(x, u) || g.HasEdge(x, w) || !breakable(idx) {
+					continue
+				}
+				removeAt(idx)
+				addEdge(x, u)
+				addEdge(x, w)
+				fr[x] -= 2
+				swapped = true
+				break
+			}
+		} else if len(active) >= 2 {
+			// Swap type 2: the remaining free ports sit one-per-node on
+			// mutually adjacent nodes; break a breakable edge (u,w)
+			// disjoint from two of them (x, y) and reconnect x-u, y-w.
+			y := -1
+			x = active[0]
+			for _, v := range active[1:] {
+				if v != x {
+					y = v
+					break
+				}
+			}
+			if y >= 0 {
+				for try := 0; try < 256 && !swapped; try++ {
+					idx := rng.Intn(g.M())
+					e := g.Edge(idx)
+					if !breakable(idx) {
+						continue
+					}
+					for _, or := range [2][2]int{{int(e.A), int(e.B)}, {int(e.B), int(e.A)}} {
+						u, w := or[0], or[1]
+						if u == x || u == y || w == x || w == y ||
+							g.HasEdge(x, u) || g.HasEdge(y, w) {
+							continue
+						}
+						removeAt(idx)
+						addEdge(x, u)
+						addEdge(y, w)
+						fr[x]--
+						fr[y]--
+						swapped = true
+						break
+					}
+				}
+			}
+		}
+		if !swapped {
+			stuck++
+			if stuck > 8 {
+				break // give up; leftover free ports stay unused
+			}
+			continue
+		}
+		stuck = 0
+		removeInactive()
+	}
+
+	for _, f := range fr {
+		res.Leftover += f
+	}
+	for idx, o := range orig {
+		if o < 0 {
+			res.Added = append(res.Added, g.Edge(idx))
+		}
+	}
+	g.SortAdjacency()
+	return res, nil
+}

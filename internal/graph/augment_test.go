@@ -1,0 +1,159 @@
+package graph
+
+import "testing"
+
+// triangleWithSpare builds a triangle a-b-c (nodes 0,1,2) plus an isolated
+// node 3, returning the graph and a free-port vector giving node 3 two
+// ports. Pairing alone cannot consume them (a single active node), so the
+// augmentation is forced into a type-1 edge swap.
+func triangleWithSpare() (*Graph, []int) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	return g, []int{0, 0, 0, 2}
+}
+
+func TestAugmentRandomPairsFreePorts(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	free := []int{0, 0, 1, 1, 1, 1}
+	res, err := AugmentRandom(g, free, nil, NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leftover != 0 {
+		t.Errorf("leftover = %d, want 0", res.Leftover)
+	}
+	if len(res.Added) != 2 {
+		t.Fatalf("added %d edges, want 2: %v", len(res.Added), res.Added)
+	}
+	if len(res.Broken) != 0 {
+		t.Errorf("broke edges %v with no swap needed", res.Broken)
+	}
+	deg := make([]int, g.N())
+	for _, e := range g.Edges() {
+		deg[e.A]++
+		deg[e.B]++
+	}
+	want := []int{1, 1, 1, 1, 1, 1}
+	for v, d := range deg {
+		if d != want[v] {
+			t.Errorf("node %d degree %d, want %d", v, d, want[v])
+		}
+	}
+}
+
+func TestAugmentRandomSwapBreaksEdge(t *testing.T) {
+	g, free := triangleWithSpare()
+	res, err := AugmentRandom(g, free, nil, NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leftover != 0 {
+		t.Fatalf("leftover = %d, want 0 (swap should consume both ports)", res.Leftover)
+	}
+	if len(res.Broken) != 1 || len(res.Added) != 2 {
+		t.Fatalf("broken=%v added=%v, want one break and two new edges", res.Broken, res.Added)
+	}
+	if g.Degree(3) != 2 {
+		t.Errorf("spare node degree %d, want 2", g.Degree(3))
+	}
+	if g.M() != 4 {
+		t.Errorf("edge count %d, want 4", g.M())
+	}
+	for _, e := range res.Added {
+		if e.A != 3 && e.B != 3 {
+			t.Errorf("added edge %v does not touch the spare node", e)
+		}
+	}
+}
+
+func TestAugmentRandomCanBreakVeto(t *testing.T) {
+	g, free := triangleWithSpare()
+	res, err := AugmentRandom(g, free, func(int) bool { return false }, NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Broken) != 0 || len(res.Added) != 0 {
+		t.Errorf("veto ignored: broken=%v added=%v", res.Broken, res.Added)
+	}
+	if res.Leftover != 2 {
+		t.Errorf("leftover = %d, want 2", res.Leftover)
+	}
+	if g.M() != 3 {
+		t.Errorf("edge count %d, want the untouched triangle", g.M())
+	}
+}
+
+func TestAugmentRandomDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g, err := RandomDegree([]int{4, 4, 4, 4, 4, 4, 4, 4}, NewRNG(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	run := func() (*Graph, AugmentResult) {
+		g := build()
+		// Free two ports each on half the nodes, as if their peers died.
+		free := []int{2, 2, 2, 2, 0, 0, 0, 0}
+		res, err := AugmentRandom(g, free, func(id int) bool { return id%2 == 0 }, NewRNG(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, res
+	}
+	g1, r1 := run()
+	g2, r2 := run()
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if len(r1.Added) != len(r2.Added) || len(r1.Broken) != len(r2.Broken) || r1.Leftover != r2.Leftover {
+		t.Errorf("results differ: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestAugmentRandomValidation(t *testing.T) {
+	g := New(3)
+	if _, err := AugmentRandom(g, []int{1, 1}, nil, NewRNG(1)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := AugmentRandom(g, []int{1, -1, 0}, nil, NewRNG(1)); err == nil {
+		t.Error("negative free count accepted")
+	}
+}
+
+func TestAugmentRandomNoSelfLoopsOrParallel(t *testing.T) {
+	g, err := RandomDegree([]int{3, 3, 3, 3, 3, 3, 3, 3, 3, 3}, NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := make([]int, g.N())
+	for v := range free {
+		free[v] = 2
+	}
+	if _, err := AugmentRandom(g, free, nil, NewRNG(17)); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int32]bool)
+	for _, e := range g.Edges() {
+		if e.A == e.B {
+			t.Fatalf("self loop at %d", e.A)
+		}
+		k := [2]int32{e.A, e.B}
+		if e.A > e.B {
+			k = [2]int32{e.B, e.A}
+		}
+		if seen[k] {
+			t.Fatalf("parallel edge %v", e)
+		}
+		seen[k] = true
+	}
+}

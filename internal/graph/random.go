@@ -186,8 +186,16 @@ func (g *Graph) removeEdgeBetween(u, w int) {
 		//flatlint:ignore nopanic internal invariant: callers pass endpoints read from the adjacency lists
 		panic(fmt.Sprintf("graph: removeEdgeBetween(%d,%d): no such edge", u, w))
 	}
-	g.dropHalf(u, id)
-	g.dropHalf(w, id)
+	g.removeEdgeAt(id)
+}
+
+// removeEdgeAt deletes the edge at index id. Edge indices of other edges
+// are preserved by swapping the last edge into the vacated slot, so callers
+// must not hold edge indices across a removal.
+func (g *Graph) removeEdgeAt(id int32) {
+	e := g.edges[id]
+	g.dropHalf(int(e.A), id)
+	g.dropHalf(int(e.B), id)
 	last := int32(len(g.edges) - 1)
 	if id != last {
 		moved := g.edges[last]

@@ -1,6 +1,7 @@
 package mcf
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -25,7 +26,7 @@ func BenchmarkFleischer(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := MaxConcurrentFlow(ft.Net, comms, Options{Epsilon: 0.1}); err != nil {
+				if _, err := MaxConcurrentFlow(context.Background(), ft.Net, comms, Options{Epsilon: 0.1}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,103 @@
+package mcf
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"flattree/internal/fattree"
+)
+
+// TestPhaseBudgetDegradesGracefully cross-checks the budget semantics
+// against the exact LP on a small instance (three diameter demands on a
+// 6-ring, optimum 2/3): an unbounded solve must meet its epsilon bound
+// unflagged, and a phase-truncated solve must be flagged Approximate while
+// staying feasible.
+func TestPhaseBudgetDegradesGracefully(t *testing.T) {
+	ring := ringNetwork(6)
+	servers := ring.Servers()
+	comms := []Commodity{
+		{Src: servers[0], Dst: servers[3], Demand: 1},
+		{Src: servers[1], Dst: servers[4], Demand: 1},
+		{Src: servers[2], Dst: servers[5], Demand: 1},
+	}
+	exact, err := MaxConcurrentFlowExact(ring, comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.05
+	full, err := MaxConcurrentFlow(context.Background(), ring, comms, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Approximate {
+		t.Fatalf("unbounded solve flagged Approximate (phases=%d)", full.Phases)
+	}
+	if full.Lambda < (1-2*eps)*exact || full.Lambda > exact+1e-9 {
+		t.Fatalf("unbounded lambda %g outside epsilon bound of exact %g", full.Lambda, exact)
+	}
+	if full.Phases < 4 {
+		t.Skipf("solver converged in %d phases; no room to truncate", full.Phases)
+	}
+
+	// Cut the phase budget well below convergence: the solver must flag
+	// the result and still return a feasible (never above exact) lambda.
+	cut, err := MaxConcurrentFlow(context.Background(), ring, comms, Options{Epsilon: eps, MaxPhases: full.Phases / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.Approximate {
+		t.Errorf("truncated solve (phases=%d of %d) not flagged Approximate", cut.Phases, full.Phases)
+	}
+	if cut.Lambda > exact+1e-9 {
+		t.Errorf("truncated lambda %g exceeds exact optimum %g — infeasible", cut.Lambda, exact)
+	}
+	if cut.Lambda <= 0 {
+		t.Errorf("truncated solve routed nothing (lambda=%g) after %d phases", cut.Lambda, cut.Phases)
+	}
+	// The dual bound keeps telling the truth on the degraded result.
+	if !math.IsInf(cut.UpperBound, 1) && cut.UpperBound < exact-1e-9 {
+		t.Errorf("degraded dual bound %g below optimum %g", cut.UpperBound, exact)
+	}
+}
+
+func TestTimeBudgetStopsSolve(t *testing.T) {
+	// A larger instance so one phase cannot finish everything instantly.
+	ft, err := fattree.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := ft.Net.Servers()
+	var comms []Commodity
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			if i != j {
+				comms = append(comms, Commodity{Src: servers[i], Dst: servers[j], Demand: 1})
+			}
+		}
+	}
+	res, err := MaxConcurrentFlow(context.Background(), ft.Net, comms, Options{Epsilon: 0.02, TimeBudget: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approximate {
+		t.Skip("solve finished inside 1ms; nothing to assert")
+	}
+	if res.Lambda < 0 {
+		t.Errorf("degraded lambda %g negative", res.Lambda)
+	}
+}
+
+func TestCancellationAbortsSolve(t *testing.T) {
+	ring := ringNetwork(6)
+	servers := ring.Servers()
+	comms := []Commodity{{Src: servers[0], Dst: servers[3], Demand: 1}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MaxConcurrentFlow(ctx, ring, comms, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

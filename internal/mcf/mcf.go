@@ -18,9 +18,11 @@
 package mcf
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"flattree/internal/graph"
 	"flattree/internal/lp"
@@ -45,6 +47,12 @@ type Options struct {
 	// SkipDualBound disables the once-per-phase dual bound computation
 	// (roughly halves runtime; UpperBound is then +Inf).
 	SkipDualBound bool
+	// TimeBudget bounds the solver's wall-clock time (0 means unbounded).
+	// On exhaustion the solver degrades gracefully: the flow accumulated
+	// so far is scaled down to feasibility and returned as a valid — but
+	// possibly well-below-optimal — Lambda, with Approximate set. This is
+	// a budget, not a cancellation: use the context to abort outright.
+	TimeBudget time.Duration
 }
 
 // Result reports a solve.
@@ -58,6 +66,12 @@ type Result struct {
 	// Phases and Dijkstras count solver work.
 	Phases    int
 	Dijkstras int
+	// Approximate reports that the solver stopped on a budget (TimeBudget
+	// or MaxPhases) before reaching its ε guarantee. Lambda is still
+	// feasible, and DualGap still tells the truth about how far off it
+	// might be; the flag only says the usual (1-ε)-optimality promise no
+	// longer applies.
+	Approximate bool
 }
 
 // DualGap returns UpperBound/Lambda - 1, the proven relative optimality
@@ -184,7 +198,12 @@ func newArena(pr *problem) *arena {
 
 // MaxConcurrentFlow runs the FPTAS. All commodity endpoints must be
 // connected; disconnected pairs yield an error.
-func MaxConcurrentFlow(nw *topo.Network, commodities []Commodity, opt Options) (Result, error) {
+//
+// The context is checked between shortest-path iterations: cancellation
+// aborts the solve and returns ctx.Err(). Options.TimeBudget instead ends
+// the phase loop early with the best feasible λ found so far (flagged
+// Approximate).
+func MaxConcurrentFlow(ctx context.Context, nw *topo.Network, commodities []Commodity, opt Options) (Result, error) {
 	if opt.Epsilon <= 0 {
 		opt.Epsilon = 0.08
 	}
@@ -230,6 +249,11 @@ func MaxConcurrentFlow(nw *topo.Network, commodities []Commodity, opt Options) (
 
 	routed := make([]float64, pr.numComm)
 	res := Result{UpperBound: math.Inf(1)}
+	var deadline time.Time
+	if opt.TimeBudget > 0 {
+		deadline = time.Now().Add(opt.TimeBudget)
+	}
+	converged := false
 
 phases:
 	for phase := 1; phase <= opt.MaxPhases; phase++ {
@@ -245,7 +269,14 @@ phases:
 			}
 			firstIteration := true
 			for len(ar.active) > 0 {
+				if err := ctx.Err(); err != nil {
+					return Result{}, err
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					break phases // budget spent: degrade to best-so-far λ
+				}
 				if sumLC >= 1 {
+					converged = true
 					break phases
 				}
 				ar.ws.Dijkstra(int(src), length)
@@ -317,10 +348,12 @@ phases:
 			// there is nothing left to gain.
 			cur := minRouted(pr, routed) / (math.Log((1+eps)/delta) / math.Log(1+eps))
 			if cur > 0 && res.UpperBound <= cur*(1+eps) {
+				converged = true
 				break phases
 			}
 		}
 	}
+	res.Approximate = !converged
 
 	// Scale the accumulated flow down to feasibility: an edge's length
 	// multiplies by at least (1+eps) every time it carries cap_e total

@@ -1,6 +1,7 @@
 package mcf
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestSingleCommodityLine(t *testing.T) {
 	if math.Abs(exact-0.5) > 1e-6 {
 		t.Errorf("exact = %g, want 0.5", exact)
 	}
-	res, err := MaxConcurrentFlow(nw, comm, Options{Epsilon: 0.05})
+	res, err := MaxConcurrentFlow(context.Background(), nw, comm, Options{Epsilon: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestTwoCommoditiesSharedEdgeExactVsFPTAS(t *testing.T) {
 	if math.Abs(exact-2.0/3) > 1e-6 {
 		t.Errorf("exact = %g, want 2/3", exact)
 	}
-	res, err := MaxConcurrentFlow(nw, comms, Options{Epsilon: 0.03})
+	res, err := MaxConcurrentFlow(context.Background(), nw, comms, Options{Epsilon: 0.03})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestFPTASMatchesExactOnRandomInstances(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := MaxConcurrentFlow(nw, comms, Options{Epsilon: 0.02})
+		res, err := MaxConcurrentFlow(context.Background(), nw, comms, Options{Epsilon: 0.02})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func TestAggregationMergesAndDropsLocal(t *testing.T) {
 	if math.Abs(exact-0.5) > 1e-6 {
 		t.Errorf("merged demand 2 over capacity 1: exact = %g, want 0.5", exact)
 	}
-	res, err := MaxConcurrentFlow(nw, []Commodity{{Src: servers[0], Dst: servers[0], Demand: 1}}, Options{})
+	res, err := MaxConcurrentFlow(context.Background(), nw, []Commodity{{Src: servers[0], Dst: servers[0], Demand: 1}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,13 +183,13 @@ func TestAggregationMergesAndDropsLocal(t *testing.T) {
 func TestErrors(t *testing.T) {
 	nw := lineNetwork(2)
 	servers := nw.Servers()
-	if _, err := MaxConcurrentFlow(nw, []Commodity{{Src: servers[0], Dst: servers[1], Demand: -1}}, Options{}); err == nil {
+	if _, err := MaxConcurrentFlow(context.Background(), nw, []Commodity{{Src: servers[0], Dst: servers[1], Demand: -1}}, Options{}); err == nil {
 		t.Error("negative demand should error")
 	}
-	if _, err := MaxConcurrentFlow(nw, []Commodity{{Src: servers[0], Dst: servers[1], Demand: 1}}, Options{Epsilon: 0.7}); err == nil {
+	if _, err := MaxConcurrentFlow(context.Background(), nw, []Commodity{{Src: servers[0], Dst: servers[1], Demand: 1}}, Options{Epsilon: 0.7}); err == nil {
 		t.Error("epsilon >= 0.5 should error")
 	}
-	if _, err := MaxConcurrentFlow(nw, []Commodity{{Src: -1, Dst: servers[1], Demand: 1}}, Options{}); err == nil {
+	if _, err := MaxConcurrentFlow(context.Background(), nw, []Commodity{{Src: -1, Dst: servers[1], Demand: 1}}, Options{}); err == nil {
 		t.Error("bad node should error")
 	}
 }
@@ -209,7 +210,7 @@ func TestFatTreeK4CrossPodFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := MaxConcurrentFlow(ft.Net, comms, Options{Epsilon: 0.03})
+	res, err := MaxConcurrentFlow(context.Background(), ft.Net, comms, Options{Epsilon: 0.03})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,14 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -181,5 +184,135 @@ func TestAdditiveDerivationWasBroken(t *testing.T) {
 	s1, s2 := NewSeedStream(1), NewSeedStream(1+7919)
 	if s1.Seed(1) == s2.Seed(0) {
 		t.Error("hashed streams reproduce the additive collision")
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	for _, workers := range []int{1, 4} {
+		err := ForEachCtx(ctx, 100, workers, func(i int) error {
+			calls.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	if c := calls.Load(); c != 0 {
+		t.Errorf("pre-cancelled context still ran %d calls", c)
+	}
+}
+
+func TestForEachCtxCancelMidSweep(t *testing.T) {
+	// Cancel once a few cells have completed; the sweep must return
+	// ctx.Err() promptly, well before the whole range is consumed.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 100000
+		var calls atomic.Int64
+		done := make(chan error, 1)
+		go func() {
+			done <- ForEachCtx(ctx, n, workers, func(i int) error {
+				if calls.Add(1) == 50 {
+					cancel()
+				}
+				time.Sleep(50 * time.Microsecond)
+				return nil
+			})
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: cancellation did not stop the sweep within deadline", workers)
+		}
+		if c := calls.Load(); c == n {
+			t.Errorf("workers=%d: cancel did not cut the sweep short (%d calls)", workers, c)
+		}
+		cancel()
+	}
+}
+
+func TestForEachCtxErrorBeatsCancellation(t *testing.T) {
+	// A real per-cell error observed before cancellation wins over ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 10, 1, func(i int) error {
+		if i == 2 {
+			cancel()    // takes effect before index 3 would start
+			return boom // but this error is recorded first
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the per-cell error", err)
+	}
+}
+
+func TestMapCtxCancelDiscardsResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 10, 4, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Errorf("out=%v err=%v, want nil + context.Canceled", out, err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(64, workers, func(i int) error {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "kaboom" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if workers == 1 && pe.Index != 7 {
+			t.Errorf("sequential panic index = %d, want 7", pe.Index)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "TestPanicBecomesError") {
+			t.Errorf("workers=%d: stack does not reference the panicking frame:\n%s", workers, pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "kaboom") {
+			t.Errorf("workers=%d: Error() = %q lacks panic value", workers, err.Error())
+		}
+	}
+}
+
+func TestPanicReportsLowestIndexLikeErrors(t *testing.T) {
+	// Index 0 is always attempted, so the reported panic is index 0's.
+	err := ForEach(64, 4, func(i int) error {
+		panic(i)
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 0 || pe.Value != 0 {
+		t.Errorf("panic reported index=%d value=%v, want index 0", pe.Index, pe.Value)
+	}
+}
+
+func TestMapPanicInOneCell(t *testing.T) {
+	out, err := Map(32, 4, func(i int) (int, error) {
+		if i == 3 {
+			panic("cell 3")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || out != nil {
+		t.Fatalf("out=%v err=%v, want nil + *PanicError", out, err)
 	}
 }

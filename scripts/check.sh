@@ -3,9 +3,9 @@
 # gofmt, the custom flatlint static-analysis pass, the unit tests, and the
 # race detector on the concurrent packages (the ctrl control plane spawns
 # per-connection goroutines; dynsim drives it under load; parallel is the
-# deterministic fan-out runner; graph, metrics, and experiments fan their
-# sweeps out through it). CI and local development both run exactly this
-# script:
+# deterministic fan-out runner; graph, metrics, faults, and experiments fan
+# their sweeps out through it). CI and local development both run exactly
+# this script:
 #
 #	./scripts/check.sh
 #
@@ -41,6 +41,6 @@ go test ./...
 echo "== go test -race (concurrent packages)"
 go test -race ./internal/ctrl/... ./internal/dynsim/... \
     ./internal/parallel/... ./internal/graph/... ./internal/metrics/... \
-    ./internal/experiments/...
+    ./internal/faults/... ./internal/experiments/...
 
 echo "ok: all checks passed"
