@@ -419,7 +419,7 @@ func BenchmarkDynsimFCT(b *testing.B) {
 		nw := ft.Net()
 		servers := nw.Servers()
 		arr := dynsim.PoissonHotspot(servers, servers[0], 4.0, 1.0, 150, graph.NewRNG(11))
-		res, err := dynsim.Simulate(nw, routing.NewKSP(nw, 8), arr, 0)
+		res, err := dynsim.Simulate(context.Background(), nw, routing.NewKSP(nw, 8), arr, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

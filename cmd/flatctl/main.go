@@ -63,10 +63,9 @@ func serve(args []string) {
 	l, err := net.Listen("tcp", *listen)
 	check(err)
 	fmt.Printf("flatctl: controller for flat-tree(k=%d) on %s, waiting for %d agents\n", *k, l.Addr(), *k)
-	go c.Serve(l)
-
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
+	go c.Serve(ctx, l)
 	check(c.WaitForAgents(ctx, *k))
 	fmt.Printf("flatctl: %d agents registered, converting to %s\n", c.NumAgents(), *mode)
 	modes, err := parseModes(*mode, *k)
@@ -108,11 +107,10 @@ func demo(args []string) {
 	c := ctrl.NewController(ft)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
-	go c.Serve(l)
-	defer c.Close()
-
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
+	go c.Serve(ctx, l)
+	defer c.Close()
 	for p := 0; p < *k; p++ {
 		a := ctrl.NewAgent(p, ctrl.ConfigsForPod(ft, p))
 		a.ApplyDelay = *delay

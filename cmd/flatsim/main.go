@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|latency|stats|export|all
+//	flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|selfheal|latency|stats|export|all
 //
 // Examples:
 //
@@ -13,6 +13,7 @@
 //	flatsim -hybridk 30 hybrid       # the paper's 30-pod hybrid study
 //	flatsim -tsv all > results.tsv
 //	flatsim -kmax 8 -trials 5 faultsrecovery   # §5 failure -> recovery table
+//	flatsim -kmax 8 -failfrac 0.25 selfheal    # live self-healing trajectory
 //
 // Long sweeps respond to Ctrl-C / SIGTERM and to -timeout by stopping
 // promptly with a partial-result message; already-printed tables remain
@@ -63,9 +64,13 @@ func main() {
 		burstPods  = flag.Int("burstpods", 0, "faultsrecovery: pods hit by a correlated link burst")
 		burstFrac  = flag.Float64("burstfrac", 0, "faultsrecovery: fraction of each burst pod's links failed")
 		convFrac   = flag.Float64("convfrac", 0, "faultsrecovery: fraction of converter blocks that die (pinning their links)")
+
+		solveBudget = flag.Duration("solvebudget", 0, "wall-clock budget per MCF solve; budget-limited cells carry a trailing ~ (0 = unbounded)")
+		failFrac    = flag.Float64("failfrac", 0.25, "selfheal: fraction of pod agents killed mid-run")
+		batch       = flag.Int("batch", 1, "selfheal: pods re-aimed per dark window")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|latency|stats|export|all\n")
+		fmt.Fprintf(os.Stderr, "usage: flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|selfheal|latency|stats|export|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -73,10 +78,48 @@ func main() {
 	cfg.Seed, cfg.Epsilon, cfg.HybridK = *seed, *eps, *hybridk
 	cfg.Trials = *trials
 	cfg.Parallelism = *par
+	cfg.SolveBudget = *solveBudget
 
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Reject nonsense before any experiment spends time on it. Fractions
+	// are validated here with the same [0,1) domain the faults package
+	// enforces, so the error arrives before a sweep's first table rather
+	// than from deep inside trial 0.
+	badFlag := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "flatsim: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *timeout < 0 {
+		badFlag("-timeout %v is negative; use 0 for no limit", *timeout)
+	}
+	if *solveBudget < 0 {
+		badFlag("-solvebudget %v is negative; use 0 for unbounded solves", *solveBudget)
+	}
+	for name, f := range map[string]float64{
+		"-switchfrac": *switchFrac, "-burstfrac": *burstFrac, "-convfrac": *convFrac,
+	} {
+		if f < 0 || f >= 1 {
+			badFlag("%s %g out of [0,1)", name, f)
+		}
+	}
+	if *failFrac <= 0 || *failFrac >= 1 {
+		badFlag("-failfrac %g out of (0,1)", *failFrac)
+	}
+	if *burstPods < 0 {
+		badFlag("-burstpods %d is negative", *burstPods)
+	}
+	if *batch <= 0 {
+		badFlag("-batch %d must be positive", *batch)
+	}
+	if *trials <= 0 {
+		badFlag("-trials %d must be positive", *trials)
+	}
+	if *eps <= 0 || *eps >= 0.5 {
+		badFlag("-eps %g out of (0,0.5)", *eps)
 	}
 
 	// Ctrl-C / SIGTERM and -timeout cancel the experiment context; drivers
@@ -168,6 +211,10 @@ func main() {
 			})
 			check(err)
 			emit(t)
+		case "selfheal":
+			t, err := experiments.SelfHeal(ctx, cfg, cfg.KMax, *failFrac, *batch)
+			check(err)
+			emit(t)
 		case "latency":
 			t, err := experiments.Latency(ctx, cfg, cfg.KMax, 0)
 			check(err)
@@ -177,7 +224,7 @@ func main() {
 		case "export":
 			exportNetwork(*expK, *expMode, *expFmt)
 		case "all":
-			for _, n := range []string{"stats", "props", "fig5", "fig6", "fig7", "fig8", "hybrid", "profile", "faults", "faultsrecovery", "latency"} {
+			for _, n := range []string{"stats", "props", "fig5", "fig6", "fig7", "fig8", "hybrid", "profile", "faults", "faultsrecovery", "selfheal", "latency"} {
 				run(n)
 			}
 		default:

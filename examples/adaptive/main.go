@@ -35,10 +35,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go controller.Serve(l)
-	defer controller.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
+	go controller.Serve(ctx, l)
+	defer controller.Close()
 	for p := 0; p < k; p++ {
 		a := ctrl.NewAgent(p, ctrl.ConfigsForPod(ft, p))
 		go func() { _ = a.Run(ctx, l.Addr().String()) }()
@@ -86,7 +86,7 @@ func main() {
 // measure replays a workload on the current topology at flow level.
 func measure(ft *core.FlatTree, arrivals []dynsim.Arrival) dynsim.Result {
 	nw := ft.Net()
-	res, err := dynsim.Simulate(nw, routing.NewKSP(nw, 8), arrivals, 0)
+	res, err := dynsim.Simulate(context.Background(), nw, routing.NewKSP(nw, 8), arrivals, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,11 +30,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go controller.Serve(l)
-	defer controller.Close()
-
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
+	go controller.Serve(ctx, l)
+	defer controller.Close()
 
 	// One agent per pod, each modelling that pod's converter hardware
 	// with a 2ms switching latency.

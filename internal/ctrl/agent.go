@@ -24,6 +24,10 @@ type Agent struct {
 	stagedE uint64
 	commits int
 
+	// wmu serializes frame writes: the heartbeat ticker and protocol
+	// replies share one connection.
+	wmu sync.Mutex
+
 	// ApplyDelay simulates converter switching latency between commit
 	// receipt and acknowledgment (the paper notes flat-tree "changes
 	// topology infrequently", so converters may be slow and cheap).
@@ -31,7 +35,14 @@ type Agent struct {
 	// RejectStage makes the agent refuse stages (failure injection for
 	// controller tests).
 	RejectStage bool
+	// HeartbeatInterval is the period between liveness beacons to the
+	// controller; zero selects DefaultHeartbeatInterval, negative disables
+	// heartbeats (failure injection: the agent looks dead to the monitor).
+	HeartbeatInterval time.Duration
 }
+
+// DefaultHeartbeatInterval is used when Agent.HeartbeatInterval is zero.
+const DefaultHeartbeatInterval = 25 * time.Millisecond
 
 // NewAgent creates an agent for a pod with its converters' current
 // configurations (converter ID -> config).
@@ -64,9 +75,17 @@ func (a *Agent) Commits() int {
 	return a.commits
 }
 
+// write sends one frame under the agent's write lock so heartbeats and
+// protocol replies never interleave on the wire.
+func (a *Agent) write(conn net.Conn, t MsgType, payload []byte) error {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return WriteFrame(conn, t, payload)
+}
+
 // Run dials the controller and serves the protocol until the context is
-// canceled or the connection drops. A nil error means the context ended
-// the session.
+// canceled or the connection drops, sending periodic heartbeats in the
+// background. A nil error means the context ended the session.
 func (a *Agent) Run(ctx context.Context, addr string) error {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
@@ -74,22 +93,26 @@ func (a *Agent) Run(ctx context.Context, addr string) error {
 		return err
 	}
 	defer conn.Close()
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-ctx.Done():
-			conn.Close() // unblocks ReadFrame
-		case <-stop:
-		}
-	}()
+	// Cancellation closes the connection, which unblocks ReadFrame.
+	defer context.AfterFunc(ctx, func() { conn.Close() })()
 
 	a.mu.Lock()
 	n := len(a.active)
 	a.mu.Unlock()
-	if err := WriteFrame(conn, MsgHello, MarshalHello(Hello{Pod: a.pod, NumConverters: uint32(n)})); err != nil {
+	if err := a.write(conn, MsgHello, MarshalHello(Hello{Pod: a.pod, NumConverters: uint32(n)})); err != nil {
 		return err
 	}
+
+	interval := a.HeartbeatInterval
+	if interval == 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	if interval > 0 {
+		hctx, cancelHB := context.WithCancel(ctx)
+		defer cancelHB()
+		go a.heartbeat(hctx, conn, interval)
+	}
+
 	for {
 		t, payload, err := ReadFrame(conn)
 		if err != nil {
@@ -104,6 +127,23 @@ func (a *Agent) Run(ctx context.Context, addr string) error {
 	}
 }
 
+// heartbeat sends liveness beacons every interval until the context ends
+// or a write fails (the read loop will notice the dead connection itself).
+func (a *Agent) heartbeat(ctx context.Context, conn net.Conn, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := a.write(conn, MsgHeartbeat, nil); err != nil {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
 func (a *Agent) dispatch(conn net.Conn, t MsgType, payload []byte) error {
 	switch t {
 	case MsgStage:
@@ -112,14 +152,14 @@ func (a *Agent) dispatch(conn net.Conn, t MsgType, payload []byte) error {
 			return err
 		}
 		if a.RejectStage {
-			return WriteFrame(conn, MsgError, MarshalError(ErrorMsg{
+			return a.write(conn, MsgError, MarshalError(ErrorMsg{
 				Epoch: s.Epoch, Pod: a.pod, Text: "stage rejected (injected failure)"}))
 		}
 		a.mu.Lock()
 		for _, e := range s.Entries {
 			if _, ok := a.active[e.Converter]; !ok {
 				a.mu.Unlock()
-				return WriteFrame(conn, MsgError, MarshalError(ErrorMsg{
+				return a.write(conn, MsgError, MarshalError(ErrorMsg{
 					Epoch: s.Epoch, Pod: a.pod,
 					Text: fmt.Sprintf("converter %d not in pod %d", e.Converter, a.pod)}))
 			}
@@ -130,7 +170,7 @@ func (a *Agent) dispatch(conn net.Conn, t MsgType, payload []byte) error {
 		}
 		a.stagedE = s.Epoch
 		a.mu.Unlock()
-		return WriteFrame(conn, MsgStaged, MarshalAck(Ack{Epoch: s.Epoch, Pod: a.pod}))
+		return a.write(conn, MsgStaged, MarshalAck(Ack{Epoch: s.Epoch, Pod: a.pod}))
 
 	case MsgCommit:
 		cm, err := UnmarshalCommit(payload)
@@ -140,7 +180,7 @@ func (a *Agent) dispatch(conn net.Conn, t MsgType, payload []byte) error {
 		a.mu.Lock()
 		if a.staged == nil || a.stagedE != cm.Epoch {
 			a.mu.Unlock()
-			return WriteFrame(conn, MsgError, MarshalError(ErrorMsg{
+			return a.write(conn, MsgError, MarshalError(ErrorMsg{
 				Epoch: cm.Epoch, Pod: a.pod, Text: "commit for unstaged epoch"}))
 		}
 		if a.ApplyDelay > 0 {
@@ -154,7 +194,7 @@ func (a *Agent) dispatch(conn net.Conn, t MsgType, payload []byte) error {
 		a.staged = nil
 		a.commits++
 		a.mu.Unlock()
-		return WriteFrame(conn, MsgCommitted, MarshalAck(Ack{Epoch: cm.Epoch, Pod: a.pod}))
+		return a.write(conn, MsgCommitted, MarshalAck(Ack{Epoch: cm.Epoch, Pod: a.pod}))
 
 	case MsgAbort:
 		cm, err := UnmarshalCommit(payload)

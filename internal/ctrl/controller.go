@@ -2,25 +2,50 @@ package ctrl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"flattree/internal/core"
+)
+
+// Default hardening parameters; see the corresponding Controller fields.
+const (
+	DefaultSendAttempts = 3
+	DefaultSendTimeout  = 2 * time.Second
+	DefaultSendBackoff  = 5 * time.Millisecond
 )
 
 // Controller is the centralized network controller of §2.6. It owns the
 // authoritative flat-tree model, plans converter reconfigurations for
 // target per-pod modes, and drives registered pod agents through a
 // two-phase stage/commit exchange so that a conversion is all-or-nothing.
+//
+// Agents send periodic heartbeats (MsgHeartbeat); the controller records a
+// last-seen timestamp per pod, and DeadPods/WaitForFailures turn those
+// timestamps into a deadline-based liveness verdict that SelfHeal consumes.
 type Controller struct {
-	mu     sync.Mutex
-	ft     *core.FlatTree
-	epoch  uint64 // last committed epoch
-	issued uint64 // last issued epoch (monotone across failed attempts)
-	agents map[uint32]*agentConn
-	inbox  chan event
-	reg    chan struct{} // closed and re-made on each registration
+	mu       sync.Mutex
+	ft       *core.FlatTree
+	epoch    uint64 // last committed epoch
+	issued   uint64 // last issued epoch (monotone across failed attempts)
+	agents   map[uint32]*agentConn
+	lastSeen map[uint32]time.Time // pod -> last message receipt
+	inbox    chan event           // raw events from connection readers
+	xch      chan event           // non-heartbeat events, fed by the pump
+	reg      chan struct{}        // closed and re-made on each registration
+
+	// SendAttempts, SendTimeout and SendBackoff harden controller->agent
+	// RPCs: each send gets a per-write deadline of SendTimeout and is
+	// retried up to SendAttempts times with exponential backoff starting
+	// at SendBackoff. Zero values select the Default* constants. Set them
+	// before Serve; they are read without the lock.
+	SendAttempts int
+	SendTimeout  time.Duration
+	SendBackoff  time.Duration
 
 	// abortErrs records the send failures from the most recent abort
 	// broadcast. An unreachable agent may still hold a staged epoch, so
@@ -40,9 +65,17 @@ type agentConn struct {
 	mu   sync.Mutex // serializes writes
 }
 
-func (a *agentConn) send(t MsgType, payload []byte) error {
+// send writes one frame, bounding the write by the given deadline window
+// (zero means no deadline).
+func (a *agentConn) send(t MsgType, payload []byte, timeout time.Duration) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if timeout > 0 {
+		if err := a.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		defer a.conn.SetWriteDeadline(time.Time{}) // reset; failure only matters on the next write
+	}
 	return WriteFrame(a.conn, t, payload)
 }
 
@@ -53,13 +86,25 @@ type event struct {
 	err     error
 }
 
+// PodError wraps an exchange failure with the pod it is attributable to,
+// so repair loops can exclude exactly the misbehaving pod and re-plan.
+type PodError struct {
+	Pod uint32
+	Err error
+}
+
+func (e *PodError) Error() string { return e.Err.Error() }
+func (e *PodError) Unwrap() error { return e.Err }
+
 // NewController creates a controller owning the given flat-tree model.
 func NewController(ft *core.FlatTree) *Controller {
 	return &Controller{
-		ft:     ft,
-		agents: make(map[uint32]*agentConn),
-		inbox:  make(chan event, 256),
-		reg:    make(chan struct{}),
+		ft:       ft,
+		agents:   make(map[uint32]*agentConn),
+		lastSeen: make(map[uint32]time.Time),
+		inbox:    make(chan event, 256),
+		xch:      make(chan event, 256),
+		reg:      make(chan struct{}),
 	}
 }
 
@@ -77,18 +122,32 @@ func (c *Controller) Epoch() uint64 {
 	return c.epoch
 }
 
-// NumAgents returns the number of registered pod agents.
+// NumAgents returns the number of registered pod agents. Registration is
+// sticky: an agent whose connection drops stays registered (and goes stale
+// by the liveness deadline) until a reconnection replaces it or the
+// controller closes.
 func (c *Controller) NumAgents() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.agents)
 }
 
-// Serve accepts agent connections on l until the listener is closed.
-func (c *Controller) Serve(l net.Listener) {
+// Serve accepts agent connections on l until the listener is closed or ctx
+// is canceled. It also runs the event pump that drains agent messages and
+// maintains per-pod liveness, so conversions and the liveness monitor only
+// work while Serve is running.
+func (c *Controller) Serve(ctx context.Context, l net.Listener) {
 	c.mu.Lock()
 	c.listener = l
 	c.mu.Unlock()
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	defer context.AfterFunc(ctx, func() { l.Close() })()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.pump(ictx)
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -97,7 +156,7 @@ func (c *Controller) Serve(l net.Listener) {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
-			c.handle(conn)
+			c.handle(ictx, conn)
 		}()
 	}
 }
@@ -117,7 +176,43 @@ func (c *Controller) Close() {
 	c.wg.Wait()
 }
 
-func (c *Controller) handle(conn net.Conn) {
+// pump is the always-on event loop: it drains the inbox so heartbeats can
+// never clog it, stamps per-pod liveness, and forwards protocol events to
+// the exchange channel that collectAcks reads. The exchange channel is
+// bounded and lossy under pathological backlog (drop-oldest), which is
+// safe: epochs are monotone, so a dropped stale ack can only delay — never
+// corrupt — an exchange, and a live exchange drains the channel promptly.
+func (c *Controller) pump(ctx context.Context) {
+	for {
+		select {
+		case ev := <-c.inbox:
+			if ev.err == nil {
+				c.mu.Lock()
+				c.lastSeen[ev.pod] = time.Now()
+				c.mu.Unlock()
+			}
+			if ev.msgType == MsgHeartbeat && ev.err == nil {
+				continue
+			}
+			select {
+			case c.xch <- ev:
+			default:
+				select {
+				case <-c.xch:
+				default:
+				}
+				select {
+				case c.xch <- ev:
+				default:
+				}
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (c *Controller) handle(ctx context.Context, conn net.Conn) {
 	t, payload, err := ReadFrame(conn)
 	if err != nil || t != MsgHello {
 		conn.Close()
@@ -139,23 +234,27 @@ func (c *Controller) handle(conn net.Conn) {
 		old.conn.Close()
 	}
 	c.agents[hello.Pod] = a
+	c.lastSeen[hello.Pod] = time.Now()
 	close(c.reg)
 	c.reg = make(chan struct{})
 	c.mu.Unlock()
 
 	for {
 		t, payload, err := ReadFrame(conn)
-		if err != nil {
-			c.inbox <- event{pod: hello.Pod, err: err}
-			c.mu.Lock()
-			if c.agents[hello.Pod] == a {
-				delete(c.agents, hello.Pod)
-			}
-			c.mu.Unlock()
+		ev := event{pod: hello.Pod, msgType: t, payload: payload, err: err}
+		select {
+		case c.inbox <- ev:
+		case <-ctx.Done():
 			conn.Close()
 			return
 		}
-		c.inbox <- event{pod: hello.Pod, msgType: t, payload: payload}
+		if err != nil {
+			// The registration stays: liveness is decided by the
+			// heartbeat deadline, not by TCP teardown, and a stale
+			// entry is replaced on reconnection or closed by Close.
+			conn.Close()
+			return
+		}
 	}
 }
 
@@ -185,6 +284,48 @@ func (c *Controller) AbortSendErrors() []error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]error(nil), c.abortErrs...)
+}
+
+// sendParams resolves the hardening knobs to effective values.
+func (c *Controller) sendParams() (attempts int, timeout, backoff time.Duration) {
+	attempts, timeout, backoff = c.SendAttempts, c.SendTimeout, c.SendBackoff
+	if attempts <= 0 {
+		attempts = DefaultSendAttempts
+	}
+	if timeout <= 0 {
+		timeout = DefaultSendTimeout
+	}
+	if backoff <= 0 {
+		backoff = DefaultSendBackoff
+	}
+	return attempts, timeout, backoff
+}
+
+// sendToPod delivers one frame to a pod's agent with per-write deadlines
+// and bounded exponential-backoff retries. The agent is looked up freshly
+// on every attempt so a reconnection mid-retry is picked up.
+func (c *Controller) sendToPod(ctx context.Context, pod uint32, t MsgType, payload []byte) error {
+	attempts, timeout, backoff := c.sendParams()
+	var last error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			select {
+			case <-time.After(backoff << (try - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		c.mu.Lock()
+		a, ok := c.agents[pod]
+		c.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("ctrl: no agent registered for pod %d", pod)
+		}
+		if last = a.send(t, payload, timeout); last == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("ctrl: %s to pod %d failed after %d attempts: %w", t, pod, attempts, last)
 }
 
 // Plan computes the per-pod configuration diffs needed to move the model
@@ -220,11 +361,23 @@ func (c *Controller) Convert(ctx context.Context, modes []core.Mode) error {
 	if err != nil {
 		return err
 	}
+	epoch, err := c.convertEntries(ctx, plan)
+	if err != nil {
+		return err
+	}
+	return c.commitModel(modes, epoch)
+}
 
+// convertEntries runs one two-phase exchange delivering the given per-pod
+// configuration entries, and returns the epoch it committed under. Epochs
+// are issued monotonically even across failed attempts so that stale
+// acknowledgments from an aborted exchange can never satisfy a later one.
+// An empty plan just burns an epoch (mode labels may still change).
+//
+// Failures attributable to one pod are returned as *PodError so callers
+// with a repair budget can exclude that pod and re-plan.
+func (c *Controller) convertEntries(ctx context.Context, plan map[uint32][]ConfigEntry) (uint64, error) {
 	c.mu.Lock()
-	// Epochs are issued monotonically even across failed attempts so that
-	// stale acknowledgments from an aborted exchange can never satisfy a
-	// later one.
 	c.issued++
 	epoch := c.issued
 	involved := make(map[uint32]*agentConn, len(plan))
@@ -232,22 +385,36 @@ func (c *Controller) Convert(ctx context.Context, modes []core.Mode) error {
 		a, ok := c.agents[pod]
 		if !ok {
 			c.mu.Unlock()
-			return fmt.Errorf("ctrl: no agent registered for pod %d", pod)
+			return 0, &PodError{Pod: pod, Err: fmt.Errorf("ctrl: no agent registered for pod %d", pod)}
 		}
 		involved[pod] = a
 	}
 	c.mu.Unlock()
 
 	if len(plan) == 0 {
-		// No converter changes; just update the model (mode labels may
-		// still differ, e.g. all-Clos to all-Clos).
-		return c.commitModel(modes, epoch)
+		return epoch, nil
 	}
 
+	// Drain stale events from exchanges that ended after their collector
+	// stopped reading; monotone epochs make them harmless, this just keeps
+	// them from burning collector iterations.
+	for {
+		select {
+		case <-c.xch:
+			continue
+		default:
+		}
+		break
+	}
+
+	_, timeout, _ := c.sendParams()
 	abort := func() {
 		var errs []error
 		for pod, a := range involved {
-			if err := a.send(MsgAbort, MarshalCommit(Commit{Epoch: epoch})); err != nil {
+			// Best-effort, direct to the captured connection: the agent
+			// may have deregistered, but if it staged the epoch it must
+			// still be told to discard it — or the failure recorded.
+			if err := a.send(MsgAbort, MarshalCommit(Commit{Epoch: epoch}), timeout); err != nil {
 				errs = append(errs, fmt.Errorf("ctrl: abort of epoch %d to pod %d: %w", epoch, pod, err))
 			}
 		}
@@ -257,28 +424,37 @@ func (c *Controller) Convert(ctx context.Context, modes []core.Mode) error {
 	}
 
 	// Phase 1: stage.
-	for pod, a := range involved {
-		if err := a.send(MsgStage, MarshalStage(Stage{Epoch: epoch, Entries: plan[pod]})); err != nil {
+	for pod := range involved {
+		if err := c.sendToPod(ctx, pod, MsgStage, MarshalStage(Stage{Epoch: epoch, Entries: plan[pod]})); err != nil {
 			abort()
-			return fmt.Errorf("ctrl: stage to pod %d: %w", pod, err)
+			return 0, &PodError{Pod: pod, Err: fmt.Errorf("ctrl: stage to pod %d: %w", pod, err)}
 		}
 	}
 	if err := c.collectAcks(ctx, involved, epoch, MsgStaged); err != nil {
 		abort()
-		return fmt.Errorf("ctrl: stage phase: %w", err)
+		return 0, wrapPhase("stage", err)
 	}
 
 	// Phase 2: commit.
-	for pod, a := range involved {
-		if err := a.send(MsgCommit, MarshalCommit(Commit{Epoch: epoch})); err != nil {
-			return fmt.Errorf("ctrl: commit to pod %d: %w", pod, err)
+	for pod := range involved {
+		if err := c.sendToPod(ctx, pod, MsgCommit, MarshalCommit(Commit{Epoch: epoch})); err != nil {
+			return 0, &PodError{Pod: pod, Err: fmt.Errorf("ctrl: commit to pod %d: %w", pod, err)}
 		}
 	}
 	if err := c.collectAcks(ctx, involved, epoch, MsgCommitted); err != nil {
-		return fmt.Errorf("ctrl: commit phase: %w", err)
+		return 0, wrapPhase("commit", err)
 	}
+	return epoch, nil
+}
 
-	return c.commitModel(modes, epoch)
+// wrapPhase labels a collector error with its phase while keeping any
+// *PodError attribution intact for errors.As.
+func wrapPhase(phase string, err error) error {
+	var pe *PodError
+	if errors.As(err, &pe) {
+		return &PodError{Pod: pe.Pod, Err: fmt.Errorf("ctrl: %s phase: %w", phase, err)}
+	}
+	return fmt.Errorf("ctrl: %s phase: %w", phase, err)
 }
 
 func (c *Controller) commitModel(modes []core.Mode, epoch uint64) error {
@@ -299,10 +475,10 @@ func (c *Controller) collectAcks(ctx context.Context, involved map[uint32]*agent
 	}
 	for len(pending) > 0 {
 		select {
-		case ev := <-c.inbox:
+		case ev := <-c.xch:
 			if ev.err != nil {
 				if pending[ev.pod] {
-					return fmt.Errorf("ctrl: agent for pod %d failed: %w", ev.pod, ev.err)
+					return &PodError{Pod: ev.pod, Err: fmt.Errorf("ctrl: agent for pod %d failed: %w", ev.pod, ev.err)}
 				}
 				continue
 			}
@@ -320,7 +496,7 @@ func (c *Controller) collectAcks(ctx context.Context, involved map[uint32]*agent
 				if err != nil {
 					return err
 				}
-				return fmt.Errorf("ctrl: pod %d rejected epoch %d: %s", em.Pod, em.Epoch, em.Text)
+				return &PodError{Pod: em.Pod, Err: fmt.Errorf("ctrl: pod %d rejected epoch %d: %s", em.Pod, em.Epoch, em.Text)}
 			default:
 				// Stale message from a previous exchange; ignore.
 			}
@@ -329,6 +505,7 @@ func (c *Controller) collectAcks(ctx context.Context, involved map[uint32]*agent
 			for pod := range pending {
 				missing = append(missing, pod)
 			}
+			sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
 			return fmt.Errorf("ctrl: %w awaiting %s from pods %v", ctx.Err(), want, missing)
 		}
 	}

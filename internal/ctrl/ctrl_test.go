@@ -23,7 +23,7 @@ func startPlant(t *testing.T, k int) (*Controller, []*Agent, func()) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go c.Serve(l)
+	go c.Serve(context.Background(), l)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	agents := make([]*Agent, k)
@@ -183,7 +183,7 @@ func TestConvertMissingAgent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go c.Serve(l)
+	go c.Serve(context.Background(), l)
 	defer c.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()

@@ -1,0 +1,63 @@
+package ctrl
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DeadPods returns the pods whose agents have gone silent: every pod that
+// ever registered but whose last received message (heartbeat or protocol
+// traffic) is older than the deadline. The result is sorted.
+//
+// A dropped TCP connection alone does not kill a pod — transient network
+// blips and agent restarts are expected, and a reconnecting agent
+// re-registers. Only the deadline decides death, which also means a
+// reconnection within the deadline fully heals the verdict.
+func (c *Controller) DeadPods(deadline time.Duration) []int {
+	cutoff := time.Now().Add(-deadline)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dead []int
+	for pod, seen := range c.lastSeen {
+		if seen.Before(cutoff) {
+			dead = append(dead, int(pod))
+		}
+	}
+	sort.Ints(dead)
+	return dead
+}
+
+// WaitForFailures blocks until every listed pod has been silent for at
+// least deadline, or ctx expires. It is the test/driver-side complement of
+// DeadPods: after killing a set of agents, waiting here guarantees the
+// monitor's verdict is stable before repair planning starts.
+func (c *Controller) WaitForFailures(ctx context.Context, pods []int, deadline time.Duration) error {
+	period := deadline / 8
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		dead := make(map[int]bool)
+		for _, p := range c.DeadPods(deadline) {
+			dead[p] = true
+		}
+		missing := 0
+		for _, p := range pods {
+			if !dead[p] {
+				missing++
+			}
+		}
+		if missing == 0 {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return fmt.Errorf("ctrl: %w waiting for %d of %d pods to fail", ctx.Err(), missing, len(pods))
+		}
+	}
+}

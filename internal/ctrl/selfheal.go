@@ -1,0 +1,383 @@
+package ctrl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"flattree/internal/core"
+	"flattree/internal/faults"
+	"flattree/internal/topo"
+)
+
+// SelfHealOptions configures an online repair pass.
+type SelfHealOptions struct {
+	// Seed drives the randomized rewiring plan (faults.Recover). The same
+	// (model, dead pods, Seed) always plans the same repair.
+	Seed uint64
+	// BatchSize bounds how many pods re-aim their converters per dark
+	// window; <= 0 means 1 (most conservative, longest trajectory).
+	BatchSize int
+	// RequireConnected stops the repair before a window that would
+	// partition the live servers, leaving the repair partial rather than
+	// splitting the fabric (§2.7 staging discipline applied to recovery).
+	RequireConnected bool
+	// MaxRetries bounds how many failed windows the repair absorbs by
+	// excluding the offending pod and re-planning before degrading to a
+	// partial repair; zero selects DefaultMaxRetries.
+	MaxRetries int
+}
+
+// DefaultMaxRetries is used when SelfHealOptions.MaxRetries is zero.
+const DefaultMaxRetries = 2
+
+// RepairWindow records one executed dark window of a repair: the pods
+// whose converters went dark, the epoch the re-aim committed under, the
+// §2.7 transition analysis of the window, and the effective network during
+// it (for measuring λ mid-repair).
+type RepairWindow struct {
+	Pods   []int
+	Epoch  uint64
+	Report core.TransitionReport
+	Dark   *topo.Network
+}
+
+// RepairReport is the outcome of one SelfHeal pass. Partial repairs are a
+// result, not an error — mirroring mcf.Result.Approximate: the report
+// says how far the repair got and flags that it stopped short.
+type RepairReport struct {
+	// DeadPods is the validated, sorted set of pods the repair routed
+	// around.
+	DeadPods []int
+	// FreedPorts/AddedLinks/BrokenLinks/Leftover summarize the rewiring
+	// plan (see faults.RecoverReport).
+	FreedPorts, AddedLinks, BrokenLinks, Leftover int
+	// Windows lists the dark windows actually executed, in order.
+	Windows []RepairWindow
+	// Excluded lists pods dropped from the repair after their agents
+	// failed an exchange; their share of the rewiring never activated.
+	Excluded []int
+	// Partial is set when the repair stopped short: retry budget
+	// exhausted, or RequireConnected refused a window.
+	Partial bool
+	// Degraded is the network right after the failure, before any repair.
+	// Healed is the network after the last executed window (equal to the
+	// full faults.Recover result when nothing was excluded or refused).
+	Degraded, Healed *topo.Network
+}
+
+// repairPlan is the model-side bookkeeping of a planned rewiring: which
+// pods own which added/broken links, so the effective network at any point
+// of the staged execution can be reconstructed.
+type repairPlan struct {
+	out   *faults.Outcome
+	rec   faults.RecoverReport
+	podOf []int // node -> pod in the degraded network (-1 for cores)
+	// addOwners[i] / brkOwners[j] are the sorted owner pods of added link
+	// i / broken link rec.BrokenIDs[j]. An added link activates once ALL
+	// its owners have re-aimed (both endpoints must point at each other);
+	// a broken link goes down as soon as ANY owner re-aims away from it.
+	addOwners, brkOwners [][]int
+}
+
+func newRepairPlan(out *faults.Outcome, rec faults.RecoverReport) *repairPlan {
+	p := &repairPlan{out: out, rec: rec}
+	p.podOf = make([]int, out.Net.N())
+	for i, n := range out.Net.Nodes {
+		p.podOf[i] = n.Pod
+	}
+	owners := func(a, b int) []int {
+		var o []int
+		if pa := p.podOf[a]; pa >= 0 {
+			o = append(o, pa)
+		}
+		if pb := p.podOf[b]; pb >= 0 && (len(o) == 0 || o[0] != pb) {
+			o = append(o, pb)
+		}
+		sort.Ints(o)
+		return o
+	}
+	p.addOwners = make([][]int, len(rec.Added))
+	for i, e := range rec.Added {
+		p.addOwners[i] = owners(e[0], e[1])
+	}
+	p.brkOwners = make([][]int, len(rec.BrokenIDs))
+	for j, id := range rec.BrokenIDs {
+		l := out.Net.Links[id]
+		p.brkOwners[j] = owners(l.A, l.B)
+	}
+	return p
+}
+
+// affectedPods returns the sorted union of owner pods across the plan,
+// minus any already-excluded pods: the pods whose converters must re-aim.
+func (p *repairPlan) affectedPods(excluded map[int]bool) []int {
+	seen := make(map[int]bool)
+	for _, o := range p.addOwners {
+		for _, pod := range o {
+			seen[pod] = true
+		}
+	}
+	for _, o := range p.brkOwners {
+		for _, pod := range o {
+			seen[pod] = true
+		}
+	}
+	var pods []int
+	for pod := range seen {
+		if !excluded[pod] {
+			pods = append(pods, pod)
+		}
+	}
+	sort.Ints(pods)
+	return pods
+}
+
+// buildState builds the effective network given which pods have re-aimed
+// (aimed), which are permanently excluded, and which are currently dark
+// (mid-flip: all their rewirable-tagged links are absent, §2.7).
+func (p *repairPlan) buildState(name string, aimed, excluded, dark map[int]bool) *topo.Network {
+	nw := p.out.Net
+	allAimed := func(o []int) bool {
+		for _, pod := range o {
+			if !aimed[pod] || excluded[pod] {
+				return false
+			}
+		}
+		return true
+	}
+	anyAimed := func(o []int) bool {
+		for _, pod := range o {
+			if aimed[pod] {
+				return true
+			}
+		}
+		return false
+	}
+	isDark := func(a, b int, tag topo.LinkTag) bool {
+		if !faults.DefaultRewirable(tag) {
+			return false
+		}
+		return dark[p.podOf[a]] || dark[p.podOf[b]]
+	}
+	down := make(map[int]bool)
+	for j, id := range p.rec.BrokenIDs {
+		if anyAimed(p.brkOwners[j]) {
+			down[id] = true
+		}
+	}
+	b := topo.NewBuilder(name)
+	for _, n := range nw.Nodes {
+		b.AddNode(n.Kind, n.Pod, n.Index, n.Ports)
+	}
+	for _, l := range nw.Links {
+		if down[l.ID] || isDark(l.A, l.B, l.Tag) {
+			continue
+		}
+		b.AddLink(l.A, l.B, l.Tag)
+	}
+	for i, e := range p.rec.Added {
+		if !allAimed(p.addOwners[i]) || isDark(e[0], e[1], topo.TagRandom) {
+			continue
+		}
+		b.AddLink(e[0], e[1], topo.TagRandom)
+	}
+	return b.Build()
+}
+
+// analyzeWindow reports a window network's health the same way
+// core.AnalyzeTransition does: degree-0 servers are down (not
+// partitioned), the rest must be mutually reachable.
+func analyzeWindow(nw *topo.Network) core.TransitionReport {
+	var rep core.TransitionReport
+	for _, l := range nw.Links {
+		if nw.Nodes[l.A].Kind.IsSwitch() && nw.Nodes[l.B].Kind.IsSwitch() {
+			rep.SurvivingLinks++
+		}
+	}
+	g := nw.Graph()
+	first := -1
+	for _, sv := range nw.Servers() {
+		if g.Degree(sv) == 0 {
+			rep.DetachedServers++
+			continue
+		}
+		if first < 0 {
+			first = sv
+		}
+	}
+	rep.Connected = true
+	if first >= 0 {
+		dist := g.BFS(first)
+		for _, sv := range nw.Servers() {
+			if g.Degree(sv) > 0 && dist[sv] < 0 {
+				rep.Connected = false
+				break
+			}
+		}
+	}
+	return rep
+}
+
+// SelfHeal routes the fabric around a set of dead pods, online: it plans a
+// rewiring of the ports the failure freed (faults.Fail + faults.Recover),
+// then drives the surviving pods' agents through the re-aim in batches of
+// BatchSize dark windows, each a real two-phase epoch over the control
+// connections. The §2.7 transition state during every window is analyzed
+// and captured so the caller can measure throughput mid-repair.
+//
+// A window whose agent exchange fails in a way attributable to one pod
+// (send failure, rejection, dead connection) consumes one retry: the pod
+// is excluded and the remaining plan continues without it. When the retry
+// budget runs out — or RequireConnected refuses a window — the repair
+// degrades to a partial result with Partial set, rather than failing.
+// Only plan-level errors and context cancellation are returned as errors.
+//
+// The dead pods are typically discovered via DeadPods/WaitForFailures;
+// SelfHeal itself takes them as input so policy (how long to wait, how
+// many concurrent failures to batch into one repair) stays with the
+// caller.
+func (c *Controller) SelfHeal(ctx context.Context, deadPods []int, opt SelfHealOptions) (*RepairReport, error) {
+	batch := opt.BatchSize
+	if batch <= 0 {
+		batch = 1
+	}
+	retries := opt.MaxRetries
+	if retries == 0 {
+		retries = DefaultMaxRetries
+	}
+
+	c.mu.Lock()
+	ft := c.ft
+	c.mu.Unlock()
+	k := ft.Params.K
+	seen := make(map[int]bool, len(deadPods))
+	dead := make([]int, 0, len(deadPods))
+	for _, p := range deadPods {
+		if p < 0 || p >= k {
+			return nil, fmt.Errorf("ctrl: dead pod %d out of range [0,%d)", p, k)
+		}
+		if !seen[p] {
+			seen[p] = true
+			dead = append(dead, p)
+		}
+	}
+	sort.Ints(dead)
+	if len(dead) == 0 {
+		return nil, errors.New("ctrl: self-heal needs at least one dead pod")
+	}
+
+	// Translate pod death into equipment failure: every switch of a dead
+	// pod goes down (its servers go with it, and its cables free ports on
+	// surviving peers).
+	nw := ft.Net()
+	var switches []int
+	for _, s := range nw.Switches() {
+		if seen[nw.Nodes[s].Pod] {
+			switches = append(switches, s)
+		}
+	}
+	out, err := faults.Fail(nw, faults.Scenario{Switches: switches, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	healed, rec, err := faults.Recover(out, faults.RecoverOptions{Seed: opt.Seed, Rewirable: faults.DefaultRewirable})
+	if err != nil {
+		return nil, err
+	}
+	rep := &RepairReport{
+		DeadPods:   dead,
+		FreedPorts: rec.FreedPorts, AddedLinks: rec.AddedLinks,
+		BrokenLinks: rec.BrokenLinks, Leftover: rec.Leftover,
+		Degraded: out.Net,
+	}
+	if rec.AddedLinks == 0 && rec.BrokenLinks == 0 {
+		// Nothing to rewire (e.g. fewer than two freed rewirable ports).
+		rep.Healed = healed
+		return rep, nil
+	}
+
+	plan := newRepairPlan(out, rec)
+	aimed := make(map[int]bool)
+	excluded := make(map[int]bool)
+	pending := plan.affectedPods(excluded)
+
+	for len(pending) > 0 {
+		n := batch
+		if n > len(pending) {
+			n = len(pending)
+		}
+		window := pending[:n]
+
+		darkSet := make(map[int]bool, len(window))
+		for _, p := range window {
+			darkSet[p] = true
+		}
+		darkNet := plan.buildState(fmt.Sprintf("%s+window%d", out.Net.Name, len(rep.Windows)), aimed, excluded, darkSet)
+		wrep := analyzeWindow(darkNet)
+		if opt.RequireConnected && !wrep.Connected {
+			rep.Partial = true
+			break
+		}
+
+		// The re-aim command: each window pod's full current configuration.
+		// Modes don't change during a repair — the pod re-aims its
+		// converter ports at the planned peers under its existing config —
+		// so the payload is the pod's config restated under a fresh epoch,
+		// carried through the same stage/commit machinery (and the same
+		// monotone-epoch guarantees) as a conversion.
+		entries := make(map[uint32][]ConfigEntry, len(window))
+		for _, p := range window {
+			entries[uint32(p)] = ConfigsForPod(ft, p)
+		}
+		epoch, err := c.convertEntries(ctx, entries)
+		if err != nil {
+			if ctx.Err() != nil {
+				return rep, fmt.Errorf("ctrl: self-heal: %w", err)
+			}
+			var pe *PodError
+			if errors.As(err, &pe) && retries > 0 {
+				retries--
+				excluded[int(pe.Pod)] = true
+				rep.Excluded = append(rep.Excluded, int(pe.Pod))
+				pending = plan.affectedPods(joinSets(aimed, excluded))
+				continue
+			}
+			rep.Partial = true
+			break
+		}
+
+		for _, p := range window {
+			aimed[p] = true
+		}
+		rep.Windows = append(rep.Windows, RepairWindow{
+			Pods: append([]int(nil), window...), Epoch: epoch,
+			Report: wrep, Dark: darkNet,
+		})
+		pending = pending[n:]
+	}
+
+	if len(rep.Excluded) == 0 && !rep.Partial {
+		// Every owner re-aimed: the staged end state is exactly the
+		// atomic faults.Recover result.
+		rep.Healed = healed
+	} else {
+		rep.Healed = plan.buildState(out.Net.Name+"+recovered", aimed, excluded, nil)
+	}
+	sort.Ints(rep.Excluded)
+	return rep, nil
+}
+
+// joinSets unions two pod sets (used to drop both already-aimed and
+// excluded pods when re-planning after an exclusion).
+func joinSets(a, b map[int]bool) map[int]bool {
+	u := make(map[int]bool, len(a)+len(b))
+	for k := range a {
+		u[k] = true
+	}
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}

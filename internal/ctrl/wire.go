@@ -48,6 +48,11 @@ const (
 	MsgAbort
 	// MsgError reports a failure (either direction).
 	MsgError
+	// MsgHeartbeat is a periodic liveness beacon (agent -> controller).
+	// The payload is empty; the pod is known from the registration. The
+	// controller's liveness monitor declares a pod dead when its last
+	// heartbeat is older than the caller's deadline.
+	MsgHeartbeat
 )
 
 // String names the message type.
@@ -67,6 +72,8 @@ func (t MsgType) String() string {
 		return "abort"
 	case MsgError:
 		return "error"
+	case MsgHeartbeat:
+		return "heartbeat"
 	}
 	return fmt.Sprintf("msgtype(%d)", uint8(t))
 }

@@ -12,6 +12,7 @@
 package dynsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -69,7 +70,12 @@ type activeFlow struct {
 // safety valve against overload workloads that would never drain (0 means
 // 4096); when it is hit, the simulation returns an error, which is a
 // finding about the offered load rather than a simulator limit.
-func Simulate(nw *topo.Network, scheme routing.Scheme, arrivals []Arrival, maxConcurrent int) (Result, error) {
+//
+// Cancelling ctx aborts the event loop between events and returns the
+// partial Result accumulated so far (finalized over the flows that did
+// complete) together with the context's error, so a SIGINT mid-sweep still
+// yields usable partial data.
+func Simulate(ctx context.Context, nw *topo.Network, scheme routing.Scheme, arrivals []Arrival, maxConcurrent int) (Result, error) {
 	if maxConcurrent <= 0 {
 		maxConcurrent = 4096
 	}
@@ -253,6 +259,11 @@ func Simulate(nw *topo.Network, scheme routing.Scheme, arrivals []Arrival, maxCo
 
 	ai := 0
 	for ai < len(sorted) || len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			res.Unfinished = len(active)
+			finalize(&res)
+			return res, fmt.Errorf("dynsim: %w with %d flows active", err, len(active))
+		}
 		res.Events++
 		if res.Events > 200*len(sorted)+1000 {
 			res.Unfinished = len(active)

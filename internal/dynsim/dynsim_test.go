@@ -1,6 +1,8 @@
 package dynsim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -27,7 +29,7 @@ func lineNet(t testing.TB) (*topo.Network, []int) {
 
 func TestSingleFlowFCT(t *testing.T) {
 	nw, servers := lineNet(t)
-	res, err := Simulate(nw, routing.NewKSP(nw, 1), []Arrival{
+	res, err := Simulate(context.Background(), nw, routing.NewKSP(nw, 1), []Arrival{
 		{Time: 1, Src: servers[0], Dst: servers[1], Size: 5},
 	}, 0)
 	if err != nil {
@@ -44,7 +46,7 @@ func TestSingleFlowFCT(t *testing.T) {
 
 func TestTwoFlowsShareLink(t *testing.T) {
 	nw, servers := lineNet(t)
-	res, err := Simulate(nw, routing.NewKSP(nw, 1), []Arrival{
+	res, err := Simulate(context.Background(), nw, routing.NewKSP(nw, 1), []Arrival{
 		{Time: 0, Src: servers[0], Dst: servers[1], Size: 2},
 		{Time: 0, Src: servers[0], Dst: servers[1], Size: 2},
 	}, 0)
@@ -61,7 +63,7 @@ func TestTwoFlowsShareLink(t *testing.T) {
 
 func TestSequentialFlowsDontShare(t *testing.T) {
 	nw, servers := lineNet(t)
-	res, err := Simulate(nw, routing.NewKSP(nw, 1), []Arrival{
+	res, err := Simulate(context.Background(), nw, routing.NewKSP(nw, 1), []Arrival{
 		{Time: 0, Src: servers[0], Dst: servers[1], Size: 1},
 		{Time: 10, Src: servers[0], Dst: servers[1], Size: 1},
 	}, 0)
@@ -88,7 +90,7 @@ func TestSameSwitchFlowInstant(t *testing.T) {
 	b.AddLink(s0, sw, topo.TagClos)
 	b.AddLink(s1, sw, topo.TagClos)
 	nw := b.Build()
-	res, err := Simulate(nw, routing.NewKSP(nw, 1), []Arrival{
+	res, err := Simulate(context.Background(), nw, routing.NewKSP(nw, 1), []Arrival{
 		{Time: 3, Src: s0, Dst: s1, Size: 100},
 	}, 0)
 	if err != nil {
@@ -103,7 +105,7 @@ func TestSameSwitchFlowInstant(t *testing.T) {
 // finishes early, and the long one speeds up afterward.
 func TestDeparturesFreeCapacity(t *testing.T) {
 	nw, servers := lineNet(t)
-	res, err := Simulate(nw, routing.NewKSP(nw, 1), []Arrival{
+	res, err := Simulate(context.Background(), nw, routing.NewKSP(nw, 1), []Arrival{
 		{Time: 0, Src: servers[0], Dst: servers[1], Size: 10},
 		{Time: 0, Src: servers[0], Dst: servers[1], Size: 1},
 	}, 0)
@@ -137,7 +139,7 @@ func TestFatTreeWorkload(t *testing.T) {
 	}
 	rng := graph.NewRNG(5)
 	arr := PoissonPairs(f.ServerIDs, 2.0, 1.0, 60, rng)
-	res, err := Simulate(f.Net, routing.NewKSP(f.Net, 4), arr, 0)
+	res, err := Simulate(context.Background(), f.Net, routing.NewKSP(f.Net, 4), arr, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +176,7 @@ func TestHotspotFasterOnGlobalRandom(t *testing.T) {
 		servers := nw.Servers()
 		rng := graph.NewRNG(11)
 		arr := PoissonHotspot(servers, servers[0], 4.0, 1.0, 150, rng)
-		res, err := Simulate(nw, routing.NewKSP(nw, 8), arr, 0)
+		res, err := Simulate(context.Background(), nw, routing.NewKSP(nw, 8), arr, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +191,7 @@ func TestHotspotFasterOnGlobalRandom(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	nw, servers := lineNet(t)
-	if _, err := Simulate(nw, routing.NewKSP(nw, 1), []Arrival{
+	if _, err := Simulate(context.Background(), nw, routing.NewKSP(nw, 1), []Arrival{
 		{Time: 0, Src: -5, Dst: servers[1], Size: 1},
 	}, 0); err == nil {
 		t.Error("bad src accepted")
@@ -199,7 +201,7 @@ func TestErrors(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		arr = append(arr, Arrival{Time: 0, Src: servers[0], Dst: servers[1], Size: 1e9})
 	}
-	if _, err := Simulate(nw, routing.NewKSP(nw, 1), arr, 3); err == nil {
+	if _, err := Simulate(context.Background(), nw, routing.NewKSP(nw, 1), arr, 3); err == nil {
 		t.Error("concurrency limit not enforced")
 	}
 }
@@ -226,5 +228,26 @@ func TestGenerators(t *testing.T) {
 		if a.Src == a.Dst {
 			t.Fatal("self flow generated")
 		}
+	}
+}
+
+// TestSimulateCancelled: a cancelled context aborts the event loop with a
+// wrapped ctx error and a partial (still internally consistent) result,
+// instead of silently returning a complete-looking one.
+func TestSimulateCancelled(t *testing.T) {
+	nw, servers := lineNet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Simulate(ctx, nw, routing.NewKSP(nw, 1), []Arrival{
+		{Time: 1, Src: servers[0], Dst: servers[1], Size: 5},
+	}, 0)
+	if err == nil {
+		t.Fatal("cancelled simulation returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if len(res.Completed) != 0 {
+		t.Errorf("cancelled-at-start run completed %d flows", len(res.Completed))
 	}
 }

@@ -32,6 +32,10 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 			return FaultsRecovery(context.Background(), cfg, 6, faults.Scenario{})
 		}},
 		{"latency", func(cfg Config) (*Table, error) { return Latency(context.Background(), cfg, 6, 0.05) }},
+		{"selfheal", func(cfg Config) (*Table, error) {
+			cfg.Epsilon = 0.3 // determinism is epsilon-independent; keep the live-plant run fast
+			return SelfHeal(context.Background(), cfg, 6, 0.25, 2)
+		}},
 		{"profile", func(cfg Config) (*Table, error) {
 			tab, _, err := Profile(context.Background(), cfg, 8)
 			return tab, err

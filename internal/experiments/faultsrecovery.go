@@ -66,6 +66,7 @@ func FaultsRecovery(ctx context.Context, cfg Config, k int, base faults.Scenario
 		connF, aplF, tputF float64
 		connR, aplR, tputR float64
 		finiteF, finiteR   bool
+		approxF, approxR   bool
 	}
 	seeds := cfg.trialSeeds()
 	perFrac := len(targets) * trials
@@ -80,27 +81,28 @@ func FaultsRecovery(ctx context.Context, cfg Config, k int, base faults.Scenario
 		if err != nil {
 			return cell{}, fmt.Errorf("faultsrecovery frac=%.2f net=%s trial=%d: %w", fracs[fi], tg.name, tr, err)
 		}
-		measure := func(nw *topo.Network) (conn, apl, tput float64, finite bool, err error) {
+		measure := func(nw *topo.Network) (conn, apl, tput float64, finite, approx bool, err error) {
 			rep, err := faults.Analyze(nw)
 			if err != nil {
-				return 0, 0, 0, false, err
+				return 0, 0, 0, false, false, err
 			}
 			conn, apl, finite = rep.LargestComponentFrac, rep.APL, rep.APL > 0
 			if !rep.Connected {
-				return conn, apl, 0, finite, nil // disconnected pairs ship nothing
+				return conn, apl, 0, finite, false, nil // disconnected pairs ship nothing
 			}
 			comms := permutationCommodities(nw, sc.Seed)
 			if len(comms) == 0 {
-				return conn, apl, 0, finite, nil
+				return conn, apl, 0, finite, false, nil
 			}
-			res, err := mcf.MaxConcurrentFlow(ctx, nw, comms, mcf.Options{Epsilon: cfg.Epsilon, SkipDualBound: true})
+			res, err := mcf.MaxConcurrentFlow(ctx, nw, comms, mcf.Options{
+				Epsilon: cfg.Epsilon, SkipDualBound: true, TimeBudget: cfg.SolveBudget})
 			if err != nil {
-				return 0, 0, 0, false, err
+				return 0, 0, 0, false, false, err
 			}
-			return conn, apl, res.Lambda, finite, nil
+			return conn, apl, res.Lambda, finite, res.Approximate, nil
 		}
 		var c cell
-		if c.connF, c.aplF, c.tputF, c.finiteF, err = measure(out.Net); err != nil {
+		if c.connF, c.aplF, c.tputF, c.finiteF, c.approxF, err = measure(out.Net); err != nil {
 			return cell{}, err
 		}
 		rec, _, err := faults.Recover(out, faults.RecoverOptions{
@@ -110,7 +112,7 @@ func FaultsRecovery(ctx context.Context, cfg Config, k int, base faults.Scenario
 		if err != nil {
 			return cell{}, err
 		}
-		if c.connR, c.aplR, c.tputR, c.finiteR, err = measure(rec); err != nil {
+		if c.connR, c.aplR, c.tputR, c.finiteR, c.approxR, err = measure(rec); err != nil {
 			return cell{}, err
 		}
 		return c, nil
@@ -124,12 +126,15 @@ func FaultsRecovery(ctx context.Context, cfg Config, k int, base faults.Scenario
 		for ni := range targets {
 			var connF, aplF, tputF, connR, aplR, tputR float64
 			finF, finR := 0, 0
+			approxF, approxR := false, false
 			for tr := 0; tr < trials; tr++ {
 				c := results[fi*perFrac+ni*trials+tr]
 				connF += c.connF
 				connR += c.connR
 				tputF += c.tputF
 				tputR += c.tputR
+				approxF = approxF || c.approxF
+				approxR = approxR || c.approxR
 				if c.finiteF {
 					aplF += c.aplF
 					finF++
@@ -147,8 +152,8 @@ func FaultsRecovery(ctx context.Context, cfg Config, k int, base faults.Scenario
 				return f3(sum / float64(n))
 			}
 			row = append(row,
-				f3(connF/ft), aplCell(aplF, finF), f4(tputF/ft),
-				f3(connR/ft), aplCell(aplR, finR), f4(tputR/ft))
+				f3(connF/ft), aplCell(aplF, finF), lambdaCell(tputF/ft, approxF),
+				f3(connR/ft), aplCell(aplR, finR), lambdaCell(tputR/ft, approxR))
 		}
 		t.AddRow(row...)
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"flattree/internal/core"
 	"flattree/internal/mcf"
@@ -15,7 +16,7 @@ import (
 // clusters under the placement policy, emit the pattern's commodities, and
 // solve maximum concurrent flow.
 func throughput(ctx context.Context, nw *topo.Network, serverIDs []int, clusterSize int, placement traffic.Placement,
-	pattern func([]traffic.Cluster) []mcf.Commodity, seed uint64, epsilon float64) (mcf.Result, error) {
+	pattern func([]traffic.Cluster) []mcf.Commodity, seed uint64, epsilon float64, budget time.Duration) (mcf.Result, error) {
 	clusters, err := traffic.MakeClusters(nw, serverIDs, traffic.Spec{
 		ClusterSize: clusterSize,
 		Placement:   placement,
@@ -24,7 +25,7 @@ func throughput(ctx context.Context, nw *topo.Network, serverIDs []int, clusterS
 	if err != nil {
 		return mcf.Result{}, err
 	}
-	return mcf.MaxConcurrentFlow(ctx, nw, pattern(clusters), mcf.Options{Epsilon: epsilon})
+	return mcf.MaxConcurrentFlow(ctx, nw, pattern(clusters), mcf.Options{Epsilon: epsilon, TimeBudget: budget})
 }
 
 // BroadcastClusterSize is the paper's hot-spot cluster size (§3.3).
@@ -73,16 +74,20 @@ func throughputFigure(ctx context.Context, cfg Config, fig string, t *Table, mod
 	numPl := len(placements)
 	cols := len(netsOf(suites[0])) * numPl
 	perK := cols * trials
-	lambdas, err := parallel.MapCtx(ctx, len(ks)*perK, workers, func(idx int) (float64, error) {
+	type solve struct {
+		lambda float64
+		approx bool
+	}
+	lambdas, err := parallel.MapCtx(ctx, len(ks)*perK, workers, func(idx int) (solve, error) {
 		ki, rest := idx/perK, idx%perK
 		ci, tr := rest/trials, rest%trials
 		nw := netsOf(suites[ki])[ci/numPl]
 		res, err := throughput(ctx, nw, serverIDsOf(nw), clusterSize, placements[ci%numPl],
-			pattern, seeds.Seed(uint64(tr)), cfg.Epsilon)
+			pattern, seeds.Seed(uint64(tr)), cfg.Epsilon, cfg.SolveBudget)
 		if err != nil {
-			return 0, fmt.Errorf("%s k=%d net=%d trial=%d: %w", fig, ks[ki], ci/numPl, tr, err)
+			return solve{}, fmt.Errorf("%s k=%d net=%d trial=%d: %w", fig, ks[ki], ci/numPl, tr, err)
 		}
-		return res.Lambda, nil
+		return solve{res.Lambda, res.Approximate}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -91,11 +96,13 @@ func throughputFigure(ctx context.Context, cfg Config, fig string, t *Table, mod
 	for ki, k := range ks {
 		row := []string{fmt.Sprint(k)}
 		for ci := 0; ci < cols; ci++ {
-			sum := 0.0
+			sum, approx := 0.0, false
 			for tr := 0; tr < trials; tr++ {
-				sum += lambdas[ki*perK+ci*trials+tr]
+				s := lambdas[ki*perK+ci*trials+tr]
+				sum += s.lambda
+				approx = approx || s.approx
 			}
-			row = append(row, f4(sum/float64(trials)))
+			row = append(row, lambdaCell(sum/float64(trials), approx))
 		}
 		t.AddRow(row...)
 	}

@@ -169,7 +169,7 @@ func completeRef(ctx context.Context, ft *core.FlatTree, mode core.Mode, cluster
 		return 0, err
 	}
 	nw := ft.Net()
-	res, err := throughput(ctx, nw, serverIDsOf(nw), clusterSize, traffic.Locality, pattern, cfg.Seed, cfg.Epsilon)
+	res, err := throughput(ctx, nw, serverIDsOf(nw), clusterSize, traffic.Locality, pattern, cfg.Seed, cfg.Epsilon, cfg.SolveBudget)
 	if err != nil {
 		return 0, err
 	}

@@ -40,6 +40,13 @@ type RecoverReport struct {
 	// AddedLinks and BrokenLinks count the new random links wired in and
 	// the surviving links the edge swaps consumed while doing so.
 	AddedLinks, BrokenLinks int
+	// Added lists each new link's endpoint node IDs (in the degraded
+	// network's numbering, which the recovered network shares). An online
+	// repair driver needs these to schedule the rewiring pod by pod.
+	Added [][2]int
+	// BrokenIDs lists the degraded-network link IDs the swaps consumed,
+	// in the same order the swaps happened.
+	BrokenIDs []int
 	// Leftover is the number of freed ports recovery could not consume.
 	Leftover int
 }
@@ -96,6 +103,11 @@ func Recover(out *Outcome, opt RecoverOptions) (*topo.Network, RecoverReport, er
 	rep.AddedLinks = len(res.Added)
 	rep.BrokenLinks = len(res.Broken)
 	rep.Leftover = res.Leftover
+	rep.Added = make([][2]int, len(res.Added))
+	for i, e := range res.Added {
+		rep.Added[i] = [2]int{int(e.A), int(e.B)}
+	}
+	rep.BrokenIDs = append([]int(nil), res.Broken...)
 
 	broken := make(map[int]bool, len(res.Broken))
 	for _, id := range res.Broken {

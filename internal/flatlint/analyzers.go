@@ -25,6 +25,7 @@ var analyzers = []analyzer{
 	{name: "ignorederr", internalOnly: true, run: runIgnorederr},
 	{name: "nopanic", internalOnly: true, run: runNopanic},
 	{name: "ctxbudget", run: runCtxbudget},
+	{name: "stopchan", run: runStopchan},
 }
 
 var knownAnalyzers = func() map[string]bool {
@@ -166,7 +167,8 @@ func runGlobalrand(pc *pkgChecker) {
 //	layer 2: topo                             (labeled topology model)
 //	layer 3: core, fattree, faults, jellyfish, mcf, metrics, routing
 //	layer 4: dynsim, flowsim, pktsim, traffic, twostage (simulators)
-//	layer 5: ctrl, experiments                (orchestration)
+//	layer 5: ctrl                             (control plane)
+//	layer 6: experiments                      (drivers; may stand up ctrl plants)
 //
 // parallel sits below everything so that both the graph substrate (all-pairs
 // BFS) and the experiment drivers can fan work out through the same runner.
@@ -194,7 +196,7 @@ var layerOf = map[string]int{
 	"internal/traffic":     4,
 	"internal/twostage":    4,
 	"internal/ctrl":        5,
-	"internal/experiments": 5,
+	"internal/experiments": 6,
 }
 
 // runLayering enforces the package dependency DAG above.
@@ -387,6 +389,98 @@ func runNopanic(pc *pkgChecker) {
 			}
 			pc.reportf("nopanic", call.Pos(),
 				"panic in library package %s; return an error instead", pc.pkg.RelPath)
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------- stopchan
+
+// stopchanPackages are the packages whose lifecycles were migrated onto
+// context.Context: the controller, agents, and the dynamic simulator all
+// cancel through the ctx passed at the call site. A new raw stop/quit
+// channel there would fork the cancellation mechanism back into two
+// halves that cannot compose (a select on a stop channel ignores ctx and
+// vice versa).
+var stopchanPackages = map[string]bool{
+	"internal/ctrl":   true,
+	"internal/dynsim": true,
+}
+
+// stopchanName reports whether a variable name reads like a lifecycle
+// signal channel.
+func stopchanName(name string) bool {
+	n := strings.ToLower(name)
+	for _, s := range []string{"stop", "quit", "halt", "kill", "done"} {
+		if strings.Contains(n, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// runStopchan forbids raw `make(chan struct{})` stop/quit channels in the
+// control-plane and dynamic-simulator packages. Both migrated their
+// lifecycles onto context.Context (cancellation, deadlines, and
+// context.AfterFunc for connection teardown); a fresh stop channel named
+// stop/quit/halt/kill/done reintroduces the pre-migration pattern.
+func runStopchan(pc *pkgChecker) {
+	if !stopchanPackages[pc.pkg.RelPath] {
+		return
+	}
+	info := pc.pkg.Info
+	lhsName := func(e ast.Expr) string {
+		switch e := e.(type) {
+		case *ast.Ident:
+			return e.Name
+		case *ast.SelectorExpr:
+			return e.Sel.Name
+		}
+		return ""
+	}
+	check := func(name string, rhs ast.Expr, pos token.Pos) {
+		if !stopchanName(name) {
+			return
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return
+		}
+		ch, ok := info.TypeOf(call).Underlying().(*types.Chan)
+		if !ok {
+			return
+		}
+		st, ok := ch.Elem().Underlying().(*types.Struct)
+		if !ok || st.NumFields() != 0 {
+			return
+		}
+		pc.reportf("stopchan", pos,
+			"raw stop channel %s in %s; lifecycles here are context-scoped — accept a ctx and cancel it (or use context.AfterFunc) instead",
+			name, pc.pkg.RelPath)
+	}
+	for _, f := range pc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						check(lhsName(lhs), n.Rhs[i], lhs.Pos())
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						check(name.Name, n.Values[i], name.Pos())
+					}
+				}
+			}
 			return true
 		})
 	}

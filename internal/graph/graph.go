@@ -45,6 +45,22 @@ func New(n int) *Graph {
 	return &Graph{adj: make([][]Half, n)}
 }
 
+// Reset returns g to n isolated nodes, keeping the adjacency and edge
+// storage so a graph rebuilt with a recurring shape (the pooled FPTAS
+// solver re-aggregates a same-sized switch graph every solve) stops
+// allocating once warm.
+func (g *Graph) Reset(n int) {
+	if cap(g.adj) < n {
+		g.adj = make([][]Half, n)
+	} else {
+		g.adj = g.adj[:n]
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.edges = g.edges[:0]
+}
+
 // N returns the number of nodes.
 func (g *Graph) N() int { return len(g.adj) }
 

@@ -44,6 +44,33 @@ func (g *Graph) NewWorkspace() *Workspace {
 	return w
 }
 
+// Rebind retargets the workspace at g, reusing the existing backing
+// arrays whenever they have the capacity. This is what makes pooling
+// workspaces across solver invocations worthwhile: each invocation
+// aggregates its own switch-level graph, but the sizes recur, so a
+// rebound workspace allocates nothing. The heap invariant (empty heap,
+// pos[v] = -1 everywhere) is re-established here because the node count
+// may change.
+func (w *Workspace) Rebind(g *Graph) {
+	n := g.N()
+	w.g = g
+	if cap(w.Dist) < n {
+		w.Dist = make([]float64, n)
+		w.Prev = make([]int32, n)
+		w.pos = make([]int32, n)
+		w.heap = make([]int32, 0, n)
+	} else {
+		w.Dist = w.Dist[:n]
+		w.Prev = w.Prev[:n]
+		w.pos = w.pos[:n]
+	}
+	for i := range w.pos {
+		w.pos[i] = -1
+	}
+	w.heap = w.heap[:0]
+	w.key = nil
+}
+
 // Dijkstra computes shortest distances from src under per-edge lengths
 // length[e] (which must be non-negative) into w.Dist and w.Prev.
 func (w *Workspace) Dijkstra(src int, length []float64) {

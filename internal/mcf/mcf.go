@@ -21,7 +21,8 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 	"time"
 
 	"flattree/internal/graph"
@@ -90,29 +91,60 @@ type aggCommodity struct {
 	id     int32
 }
 
-// problem is the aggregated switch-level instance.
+// spair is a pre-merge (source, destination, demand) triple.
+type spair struct {
+	s, t   int32
+	demand float64
+}
+
+// problem is the aggregated switch-level instance. Its storage is flat
+// slices grouped by source (no maps) precisely so a pooled instance can be
+// refilled without allocating: experiment sweeps solve thousands of
+// same-shaped instances back to back.
 type problem struct {
 	g       *graph.Graph // switch-level graph
 	cap     []float64    // per-edge capacity
 	node    []int        // problem node -> network node
 	srcs    []int32      // commodity sources in ascending order
-	bysrc   map[int32][]aggCommodity
+	srcOff  []int32      // comms offsets per source; len(srcs)+1 entries
+	comms   []aggCommodity
 	numComm int
+
+	idx   []int32 // scratch: network node -> switch index, -1 for servers
+	pairs []spair // scratch: pre-merge triples
 }
 
-// aggregate maps commodities to switch pairs and merges duplicates.
-// Same-switch commodities are dropped: with uncapacitated server links they
-// are satisfiable at any λ and never bind.
-func aggregate(nw *topo.Network, commodities []Commodity) (*problem, error) {
-	sw := nw.Switches()
-	idx := make([]int32, nw.N())
+// commsOf returns the aggregated commodities of the si-th source.
+func (p *problem) commsOf(si int) []aggCommodity {
+	return p.comms[p.srcOff[si]:p.srcOff[si+1]]
+}
+
+// aggregate maps commodities to switch pairs and merges duplicates,
+// refilling pr in place. Same-switch commodities are dropped: with
+// uncapacitated server links they are satisfiable at any λ and never bind.
+//
+// Duplicate (src, dst) pairs are merged by a stable sort followed by an
+// adjacent sum, so demands accumulate in input order — the same order the
+// map-based predecessor of this code used — keeping solves bit-identical.
+func aggregate(nw *topo.Network, commodities []Commodity, pr *problem) error {
+	pr.node = nw.AppendSwitches(pr.node[:0])
+	sw := pr.node
+	if cap(pr.idx) < nw.N() {
+		pr.idx = make([]int32, nw.N())
+	}
+	idx := pr.idx[:nw.N()]
 	for i := range idx {
 		idx[i] = -1
 	}
 	for i, s := range sw {
 		idx[s] = int32(i)
 	}
-	pr := &problem{g: graph.New(len(sw)), node: sw, bysrc: make(map[int32][]aggCommodity)}
+	if pr.g == nil {
+		pr.g = graph.New(len(sw))
+	} else {
+		pr.g.Reset(len(sw))
+	}
+	pr.cap = pr.cap[:0]
 	for _, l := range nw.Links {
 		if nw.Nodes[l.A].Kind.IsSwitch() && nw.Nodes[l.B].Kind.IsSwitch() {
 			pr.g.AddEdge(int(idx[l.A]), int(idx[l.B]))
@@ -132,68 +164,136 @@ func aggregate(nw *topo.Network, commodities []Commodity) (*problem, error) {
 		}
 		return idx[h], nil
 	}
-	merged := make(map[[2]int32]float64)
+	pr.pairs = pr.pairs[:0]
 	for _, c := range commodities {
 		if c.Demand <= 0 {
-			return nil, fmt.Errorf("mcf: non-positive demand %g", c.Demand)
+			return fmt.Errorf("mcf: non-positive demand %g", c.Demand)
 		}
 		s, err := toSwitch(c.Src)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t, err := toSwitch(c.Dst)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if s == t {
 			continue
 		}
-		merged[[2]int32{s, t}] += c.Demand
+		pr.pairs = append(pr.pairs, spair{s: s, t: t, demand: c.Demand})
 	}
-	keys := make([][2]int32, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
+	slices.SortStableFunc(pr.pairs, func(a, b spair) int {
+		if a.s != b.s {
+			return int(a.s) - int(b.s)
 		}
-		return keys[i][1] < keys[j][1]
+		return int(a.t) - int(b.t)
 	})
-	for _, k := range keys {
-		// keys are sorted by source first, so srcs comes out ascending.
-		if len(pr.srcs) == 0 || pr.srcs[len(pr.srcs)-1] != k[0] {
-			pr.srcs = append(pr.srcs, k[0])
+	pr.srcs, pr.srcOff, pr.comms = pr.srcs[:0], pr.srcOff[:0], pr.comms[:0]
+	pr.numComm = 0
+	for i := 0; i < len(pr.pairs); {
+		p := pr.pairs[i]
+		d := p.demand
+		j := i + 1
+		for ; j < len(pr.pairs) && pr.pairs[j].s == p.s && pr.pairs[j].t == p.t; j++ {
+			d += pr.pairs[j].demand
 		}
-		pr.bysrc[k[0]] = append(pr.bysrc[k[0]], aggCommodity{dst: k[1], demand: merged[k], id: int32(pr.numComm)})
+		if len(pr.srcs) == 0 || pr.srcs[len(pr.srcs)-1] != p.s {
+			pr.srcs = append(pr.srcs, p.s)
+			pr.srcOff = append(pr.srcOff, int32(len(pr.comms)))
+		}
+		pr.comms = append(pr.comms, aggCommodity{dst: p.t, demand: d, id: int32(pr.numComm)})
 		pr.numComm++
+		i = j
 	}
-	return pr, nil
+	pr.srcOff = append(pr.srcOff, int32(len(pr.comms)))
+	return nil
 }
 
 // arena is the per-solve scratch reused across every phase, iteration, and
-// the probe pass: one Dijkstra workspace plus dense per-edge and
-// per-destination state with touched stacks. Nothing in the steady-state
-// FPTAS loop allocates.
+// the probe pass: one Dijkstra workspace plus dense per-edge, per-commodity,
+// and per-destination state with touched stacks. Nothing in the steady-state
+// FPTAS loop allocates, and arenas themselves are pooled across solves —
+// experiment sweeps run thousands of same-shaped instances back to back, so
+// after warm-up a whole solve allocates only its Result.
 type arena struct {
 	ws      *graph.Workspace
 	req     []float64 // per-edge flow requested this iteration (len M)
+	length  []float64 // per-edge FPTAS length function (len M)
 	touched []int32   // edges with req != 0
 	rem     []float64 // per-destination demand left this phase (len N)
 	remID   []int32   // per-destination commodity id for the current source
 	active  []int32   // destinations with remaining demand, ascending
+	routed  []float64 // per-commodity flow accumulated so far (len numComm)
 }
 
-func newArena(pr *problem) *arena {
-	n, m := pr.g.N(), pr.g.M()
-	return &arena{
-		ws:      pr.g.NewWorkspace(),
-		req:     make([]float64, m),
-		touched: make([]int32, 0, m),
-		rem:     make([]float64, n),
-		remID:   make([]int32, n),
-		active:  make([]int32, 0, n),
+// solveState pairs an aggregated problem with its arena; the two are
+// pooled as a unit because the arena's workspace stays bound to the
+// problem's (reused) graph.
+type solveState struct {
+	pr problem
+	ar arena
+}
+
+var statePool sync.Pool
+
+// getState pops a pooled solve state (or builds an empty one). Pooling
+// cannot affect results: aggregate refills every problem slice it reads
+// and bind zeroes every arena slice the solver accumulates into, so a
+// recycled state is indistinguishable from a fresh one.
+func getState() *solveState {
+	st, ok := statePool.Get().(*solveState)
+	if !ok {
+		st = &solveState{}
 	}
+	return st
+}
+
+func putState(st *solveState) { statePool.Put(st) }
+
+// bind sizes the arena for pr, reusing backing arrays whose capacity
+// suffices. req, length, and routed are accumulated into with += by the
+// solver and must start zero; rem and remID are fully written before each
+// read, so stale values there are harmless.
+func (ar *arena) bind(pr *problem) {
+	n, m := pr.g.N(), pr.g.M()
+	if ar.ws == nil {
+		ar.ws = pr.g.NewWorkspace()
+	} else {
+		ar.ws.Rebind(pr.g)
+	}
+	ar.req = zeroed(ar.req, m)
+	ar.length = zeroed(ar.length, m)
+	ar.routed = zeroed(ar.routed, pr.numComm)
+	ar.rem = resized(ar.rem, n)
+	if cap(ar.remID) < n {
+		ar.remID = make([]int32, n)
+	} else {
+		ar.remID = ar.remID[:n]
+	}
+	if cap(ar.touched) < m {
+		ar.touched = make([]int32, 0, m)
+	}
+	ar.touched = ar.touched[:0]
+	ar.active = ar.active[:0]
+}
+
+// zeroed returns s resized to n with every element zero, reusing the
+// backing array when it is large enough.
+func zeroed(s []float64, n int) []float64 {
+	s = resized(s, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// resized returns s with length n, reusing capacity; contents are
+// unspecified.
+func resized(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // MaxConcurrentFlow runs the FPTAS. All commodity endpoints must be
@@ -213,15 +313,18 @@ func MaxConcurrentFlow(ctx context.Context, nw *topo.Network, commodities []Comm
 	if opt.MaxPhases <= 0 {
 		opt.MaxPhases = 1 << 20
 	}
-	pr, err := aggregate(nw, commodities)
-	if err != nil {
+	st := getState()
+	defer putState(st)
+	pr := &st.pr
+	if err := aggregate(nw, commodities, pr); err != nil {
 		return Result{}, err
 	}
 	if pr.numComm == 0 {
 		return Result{Lambda: math.Inf(1), UpperBound: math.Inf(1)}, nil
 	}
 
-	ar := newArena(pr)
+	ar := &st.ar
+	ar.bind(pr)
 
 	// Demand pre-scaling: the Garg-Könemann phase count is ~OPT·log(m)/ε²,
 	// so an instance with tiny OPT (e.g. one hot spot against a whole
@@ -230,24 +333,21 @@ func MaxConcurrentFlow(ctx context.Context, nw *topo.Network, commodities []Comm
 	// probe estimates OPT within the path-stretch factor; scaling demands
 	// by it normalizes OPT to Θ(1).
 	lambdaHat := pr.probeScale(ar)
-	for _, src := range pr.srcs {
-		comms := pr.bysrc[src]
-		for i := range comms {
-			comms[i].demand *= lambdaHat
-		}
+	for i := range pr.comms {
+		pr.comms[i].demand *= lambdaHat
 	}
 
 	eps := opt.Epsilon
 	m := pr.g.M()
 	delta := (1 + eps) * math.Pow((1+eps)*float64(m), -1/eps)
-	length := make([]float64, m)
+	length := ar.length
 	sumLC := 0.0 // D(l) = sum_e length_e * cap_e
 	for e := 0; e < m; e++ {
 		length[e] = delta / pr.cap[e]
 		sumLC += length[e] * pr.cap[e]
 	}
 
-	routed := make([]float64, pr.numComm)
+	routed := ar.routed
 	res := Result{UpperBound: math.Inf(1)}
 	var deadline time.Time
 	if opt.TimeBudget > 0 {
@@ -259,8 +359,8 @@ phases:
 	for phase := 1; phase <= opt.MaxPhases; phase++ {
 		res.Phases = phase
 		dualAlpha := 0.0
-		for _, src := range pr.srcs {
-			comms := pr.bysrc[src]
+		for si, src := range pr.srcs {
+			comms := pr.commsOf(si)
 			ar.active = ar.active[:0]
 			for _, c := range comms {
 				ar.rem[c.dst] = c.demand
@@ -370,11 +470,9 @@ phases:
 // minRouted returns the minimum routed/demand ratio over all commodities.
 func minRouted(pr *problem, routed []float64) float64 {
 	lambda := math.Inf(1)
-	for _, src := range pr.srcs {
-		for _, c := range pr.bysrc[src] {
-			if v := routed[c.id] / c.demand; v < lambda {
-				lambda = v
-			}
+	for _, c := range pr.comms {
+		if v := routed[c.id] / c.demand; v < lambda {
+			lambda = v
 		}
 	}
 	return lambda
@@ -383,15 +481,20 @@ func minRouted(pr *problem, routed []float64) float64 {
 // probeScale routes every demand once along unit-hop shortest paths and
 // returns 1/(max edge load): a constant-factor estimate of the optimal
 // concurrent throughput used only for demand normalization, never for
-// results. It borrows the solve arena's workspace and per-edge scratch
-// (ar.req doubles as the load accumulator and is handed back zeroed).
+// results. It borrows the solve arena's workspace and per-edge scratch:
+// ar.req doubles as the load accumulator and is handed back zeroed, and
+// ar.length holds the unit lengths — the caller reinitializes it to the
+// FPTAS length function right after the probe, so nothing leaks.
 func (p *problem) probeScale(ar *arena) float64 {
-	unit := p.g.UnitLengths()
+	unit := ar.length
+	for i := range unit {
+		unit[i] = 1
+	}
 	load := ar.req
-	for _, src := range p.srcs {
+	for si, src := range p.srcs {
 		ar.ws.Dijkstra(int(src), unit)
 		dist, prev := ar.ws.Dist, ar.ws.Prev
-		for _, c := range p.bysrc[src] {
+		for _, c := range p.commsOf(si) {
 			if math.IsInf(dist[c.dst], 1) {
 				continue // surfaced as an error during the main run
 			}
@@ -419,8 +522,8 @@ func (p *problem) probeScale(ar *arena) float64 {
 // formulation. Intended for small instances (the variable count is
 // 2·edges·commodities + 1); tests use it to validate MaxConcurrentFlow.
 func MaxConcurrentFlowExact(nw *topo.Network, commodities []Commodity) (float64, error) {
-	pr, err := aggregate(nw, commodities)
-	if err != nil {
+	pr := &problem{}
+	if err := aggregate(nw, commodities, pr); err != nil {
 		return 0, err
 	}
 	if pr.numComm == 0 {
@@ -443,8 +546,8 @@ func MaxConcurrentFlowExact(nw *topo.Network, commodities []Commodity) (float64,
 		demand   float64
 	}
 	comms := make([]cinfo, pr.numComm)
-	for _, src := range pr.srcs {
-		for _, c := range pr.bysrc[src] {
+	for si, src := range pr.srcs {
+		for _, c := range pr.commsOf(si) {
 			comms[c.id] = cinfo{src: src, dst: c.dst, demand: c.demand}
 		}
 	}

@@ -132,12 +132,18 @@ func (nw *Network) Servers() []int { return nw.byKind[Server] }
 
 // Switches returns all switch IDs (edge, agg, core), ascending.
 func (nw *Network) Switches() []int {
-	var sw []int
-	sw = append(sw, nw.byKind[EdgeSwitch]...)
-	sw = append(sw, nw.byKind[AggSwitch]...)
-	sw = append(sw, nw.byKind[CoreSwitch]...)
-	sort.Ints(sw)
-	return sw
+	return nw.AppendSwitches(nil)
+}
+
+// AppendSwitches appends the ids of every switch node in ascending order
+// to dst and returns the extended slice; pass dst[:0] to reuse a scratch
+// buffer across calls.
+func (nw *Network) AppendSwitches(dst []int) []int {
+	dst = append(dst, nw.byKind[EdgeSwitch]...)
+	dst = append(dst, nw.byKind[AggSwitch]...)
+	dst = append(dst, nw.byKind[CoreSwitch]...)
+	sort.Ints(dst)
+	return dst
 }
 
 // HostSwitch returns the switch a server attaches to, or -1 if the server is

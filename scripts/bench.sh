@@ -81,6 +81,18 @@ benchjson() {
 EOF
     echo '    }'
     echo '  },'
+    echo '  "baseline_prepool": {'
+    echo '    "commit": "5b61e31 (zero-allocation kernel, pre arena pooling)",'
+    echo '    "results": {'
+    cat <<'EOF'
+        "BenchmarkAblationEpsilon/eps=0.05": {"iterations": 5, "ns_op": 139876030, "dijkstras": 15946, "dual_gap": 0.06636, "lambda": 0.006873, "bytes_op": 45217, "allocs_op": 382},
+        "BenchmarkAblationEpsilon/eps=0.1": {"iterations": 5, "ns_op": 41391379, "dijkstras": 3952, "dual_gap": 0.1312, "lambda": 0.006733, "bytes_op": 45217, "allocs_op": 382},
+        "BenchmarkAblationEpsilon/eps=0.2": {"iterations": 5, "ns_op": 9830942, "dijkstras": 964.0, "dual_gap": 0.2830, "lambda": 0.006432, "bytes_op": 45217, "allocs_op": 382},
+        "BenchmarkFleischer/k=8": {"iterations": 5, "ns_op": 14483237, "bytes_op": 34209, "allocs_op": 344},
+        "BenchmarkFleischer/k=12": {"iterations": 5, "ns_op": 78130372, "bytes_op": 135201, "allocs_op": 893}
+EOF
+    echo '    }'
+    echo '  },'
     echo '  "benchmarks": {'
     echo '    "results": {'
     benchjson "$tmp"
