@@ -7,51 +7,94 @@
 //	layering    the internal package dependency DAG
 //	ignorederr  no discarded errors or dead blank assignments
 //	nopanic     no panics in library packages
+//	ctxbudget   ctx is the first parameter and never stored in a struct
+//	stopchan    no raw stop channels in the context-scoped packages
+//	maporder    no order-sensitive effects inside map ranges
+//	gorolife    goroutines in library code are tied to a lifecycle
+//	clockwall   wall-clock reads confined and banned transitively from
+//	            the deterministic packages
+//	randflow    RNGs are injected, never built from hard-coded seeds
+//
+// The engine is interprocedural: packages load and type-check
+// concurrently, per-function summaries are propagated over the call
+// graph, and clockwall/randflow report violations reached through any
+// chain of helpers.
 //
 // Usage:
 //
 //	go run ./cmd/flatlint ./...
-//	go run ./cmd/flatlint -C /path/to/module ./internal/ctrl
+//	go run ./cmd/flatlint -C /path/to/module -json ./internal/ctrl
 //
-// Findings print one per line as "file:line: analyzer: message" and make
-// the tool exit 1; a clean run exits 0. Suppress a finding with
+// Findings print one per line as "file:line: analyzer: message"; with
+// -json they print instead as a JSON array of {file, line, analyzer,
+// message} objects (an empty array when clean), which is what
+// scripts/check.sh archives next to the benchmark baselines.
+//
+// Exit codes are a contract: 0 means the tree is clean, 1 means findings
+// were reported, 2 means the run itself failed (usage error, unknown
+// package pattern, parse or type-check failure). Suppress a finding with
 // "//flatlint:ignore <analyzer> <reason>" on, or directly above, the
 // offending line.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"flattree/internal/flatlint"
 )
 
 func main() {
-	dir := flag.String("C", ".", "module root directory (containing go.mod)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: flatlint [-C dir] [./... | ./pkg/path ...]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: parses flags, lints, renders, and
+// returns the process exit code (0 clean, 1 findings, 2 load/usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flatlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root directory (containing go.mod)")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array instead of one line each")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: flatlint [-C dir] [-json] [./... | ./pkg/path ...]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	// Package errors already carry the "flatlint:" prefix.
 	r, err := flatlint.NewRunner(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	findings, err := r.Run(flag.Args())
+	findings, err := r.Run(fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		if findings == nil {
+			findings = []flatlint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "flatlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "flatlint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureModule is the flatlint test module, which is known to contain
+// findings for every analyzer.
+const fixtureModule = "../../internal/flatlint/testdata/src/flattree"
+
+// writeCleanModule creates a minimal module with no findings and returns
+// its root directory.
+func writeCleanModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":  "module clean\n\ngo 1.21\n",
+		"main.go": "package main\n\nfunc main() {}\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureModule, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing finding count: %q", stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no findings printed")
+	}
+	for _, line := range lines {
+		// file:line: analyzer: message
+		if parts := strings.SplitN(line, ": ", 3); len(parts) != 3 {
+			t.Errorf("malformed finding line %q", line)
+		}
+	}
+}
+
+func TestRunJSONContract(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixtureModule, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON array is empty; fixture module must have findings")
+	}
+	for i, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding %d has empty field: %+v", i, f)
+		}
+	}
+}
+
+func TestRunCleanExitZero(t *testing.T) {
+	dir := writeCleanModule(t)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed output: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-json exit code = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	// A clean tree must still print a valid (empty) JSON array, never
+	// "null", so downstream tooling can parse unconditionally.
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestRunErrorsExitTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+		{"missing module root", []string{"-C", filepath.Join(os.TempDir(), "no-such-flatlint-dir")}},
+		{"unknown pattern", []string{"-C", fixtureModule, "./internal/nonexistent"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Errorf("exit code = %d, want 2; stderr:\n%s", code, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Error("error run left stderr empty")
+			}
+		})
+	}
+}

@@ -99,11 +99,16 @@ func main() {
 	if *solveBudget < 0 {
 		badFlag("-solvebudget %v is negative; use 0 for unbounded solves", *solveBudget)
 	}
-	for name, f := range map[string]float64{
-		"-switchfrac": *switchFrac, "-burstfrac": *burstFrac, "-convfrac": *convFrac,
+	// Fixed-order slice, not a map literal: which flag the error names
+	// must not depend on map iteration order.
+	for _, fr := range []struct {
+		name string
+		f    float64
+	}{
+		{"-switchfrac", *switchFrac}, {"-burstfrac", *burstFrac}, {"-convfrac", *convFrac},
 	} {
-		if f < 0 || f >= 1 {
-			badFlag("%s %g out of [0,1)", name, f)
+		if fr.f < 0 || fr.f >= 1 {
+			badFlag("%s %g out of [0,1)", fr.name, fr.f)
 		}
 	}
 	if *failFrac <= 0 || *failFrac >= 1 {

@@ -71,6 +71,7 @@ func (a *agentConn) send(t MsgType, payload []byte, timeout time.Duration) error
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if timeout > 0 {
+		//flatlint:ignore clockwall write deadlines are wall-clock by definition; no simulated result depends on the value
 		if err := a.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 			return err
 		}
@@ -188,7 +189,7 @@ func (c *Controller) pump(ctx context.Context) {
 		case ev := <-c.inbox:
 			if ev.err == nil {
 				c.mu.Lock()
-				c.lastSeen[ev.pod] = time.Now()
+				c.lastSeen[ev.pod] = time.Now() //flatlint:ignore clockwall liveness stamps track real agents on a real network
 				c.mu.Unlock()
 			}
 			if ev.msgType == MsgHeartbeat && ev.err == nil {
@@ -234,7 +235,7 @@ func (c *Controller) handle(ctx context.Context, conn net.Conn) {
 		old.conn.Close()
 	}
 	c.agents[hello.Pod] = a
-	c.lastSeen[hello.Pod] = time.Now()
+	c.lastSeen[hello.Pod] = time.Now() //flatlint:ignore clockwall liveness stamps track real agents on a real network
 	close(c.reg)
 	c.reg = make(chan struct{})
 	c.mu.Unlock()
@@ -380,8 +381,16 @@ func (c *Controller) convertEntries(ctx context.Context, plan map[uint32][]Confi
 	c.mu.Lock()
 	c.issued++
 	epoch := c.issued
-	involved := make(map[uint32]*agentConn, len(plan))
+	// Pods are visited in sorted order everywhere below — registration
+	// check, stage, commit, abort — so which pod a *PodError blames, and
+	// the order of recorded abort errors, is a function of the plan alone.
+	pods := make([]uint32, 0, len(plan))
 	for pod := range plan {
+		pods = append(pods, pod)
+	}
+	sort.Slice(pods, func(i, j int) bool { return pods[i] < pods[j] })
+	involved := make(map[uint32]*agentConn, len(plan))
+	for _, pod := range pods {
 		a, ok := c.agents[pod]
 		if !ok {
 			c.mu.Unlock()
@@ -410,11 +419,11 @@ func (c *Controller) convertEntries(ctx context.Context, plan map[uint32][]Confi
 	_, timeout, _ := c.sendParams()
 	abort := func() {
 		var errs []error
-		for pod, a := range involved {
+		for _, pod := range pods {
 			// Best-effort, direct to the captured connection: the agent
 			// may have deregistered, but if it staged the epoch it must
 			// still be told to discard it — or the failure recorded.
-			if err := a.send(MsgAbort, MarshalCommit(Commit{Epoch: epoch}), timeout); err != nil {
+			if err := involved[pod].send(MsgAbort, MarshalCommit(Commit{Epoch: epoch}), timeout); err != nil {
 				errs = append(errs, fmt.Errorf("ctrl: abort of epoch %d to pod %d: %w", epoch, pod, err))
 			}
 		}
@@ -424,7 +433,7 @@ func (c *Controller) convertEntries(ctx context.Context, plan map[uint32][]Confi
 	}
 
 	// Phase 1: stage.
-	for pod := range involved {
+	for _, pod := range pods {
 		if err := c.sendToPod(ctx, pod, MsgStage, MarshalStage(Stage{Epoch: epoch, Entries: plan[pod]})); err != nil {
 			abort()
 			return 0, &PodError{Pod: pod, Err: fmt.Errorf("ctrl: stage to pod %d: %w", pod, err)}
@@ -436,7 +445,7 @@ func (c *Controller) convertEntries(ctx context.Context, plan map[uint32][]Confi
 	}
 
 	// Phase 2: commit.
-	for pod := range involved {
+	for _, pod := range pods {
 		if err := c.sendToPod(ctx, pod, MsgCommit, MarshalCommit(Commit{Epoch: epoch})); err != nil {
 			return 0, &PodError{Pod: pod, Err: fmt.Errorf("ctrl: commit to pod %d: %w", pod, err)}
 		}

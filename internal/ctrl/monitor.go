@@ -16,7 +16,7 @@ import (
 // re-registers. Only the deadline decides death, which also means a
 // reconnection within the deadline fully heals the verdict.
 func (c *Controller) DeadPods(deadline time.Duration) []int {
-	cutoff := time.Now().Add(-deadline)
+	cutoff := time.Now().Add(-deadline) //flatlint:ignore clockwall the death verdict is defined against real elapsed time
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var dead []int

@@ -56,12 +56,18 @@ type Scenario struct {
 }
 
 func (sc Scenario) validate() error {
-	for name, f := range map[string]float64{
-		"link": sc.LinkFraction, "switch": sc.SwitchFraction,
-		"burst link": sc.BurstLinkFraction, "converter": sc.ConverterFraction,
+	// A fixed-order slice, not a map literal: the first offending field
+	// decides the error message, so iteration order must be deterministic
+	// (this was flatlint's first real maporder catch).
+	for _, fr := range []struct {
+		name string
+		f    float64
+	}{
+		{"link", sc.LinkFraction}, {"switch", sc.SwitchFraction},
+		{"burst link", sc.BurstLinkFraction}, {"converter", sc.ConverterFraction},
 	} {
-		if f < 0 || f >= 1 {
-			return fmt.Errorf("faults: %s fraction %g out of [0,1)", name, f)
+		if fr.f < 0 || fr.f >= 1 {
+			return fmt.Errorf("faults: %s fraction %g out of [0,1)", fr.name, fr.f)
 		}
 	}
 	if sc.BurstPods < 0 {

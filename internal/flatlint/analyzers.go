@@ -26,6 +26,10 @@ var analyzers = []analyzer{
 	{name: "nopanic", internalOnly: true, run: runNopanic},
 	{name: "ctxbudget", run: runCtxbudget},
 	{name: "stopchan", run: runStopchan},
+	{name: "maporder", run: runMaporder},
+	{name: "gorolife", internalOnly: true, run: runGorolife},
+	{name: "clockwall", internalOnly: true, run: runClockwall},
+	{name: "randflow", internalOnly: true, run: runRandflow},
 }
 
 var knownAnalyzers = func() map[string]bool {

@@ -1,0 +1,60 @@
+package flatlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// clockwall confines wall-clock reads. Experiment tables must be a pure
+// function of (topology, seed) — a time.Now that leaks into a result is
+// nondeterminism the byte-identical-tables contract cannot survive, and
+// unlike map ordering it does not even reproduce on the same machine.
+//
+// Two rules:
+//
+//  1. Direct: every time.Now/Since/Until in internal library code is a
+//     finding. The justified sites — ctrl's liveness deadlines and write
+//     timeouts, mcf's solver time budgets — each carry a reasoned
+//     //flatlint:ignore directive, so the allowlist lives in the source
+//     next to the read it excuses.
+//
+//  2. Transitive: in the deterministic packages (graph, topo, routing,
+//     metrics, experiments) a function must not *reach* a wall-clock
+//     read through any call chain. Propagation treats internal/ctrl and
+//     internal/mcf as trust boundaries — their clock use shapes budgets
+//     and liveness, not table values — so a driver may run budgeted
+//     solves and stand up control planes. The finding lands on the call
+//     site inside the deterministic package and names the chain.
+func runClockwall(pc *pkgChecker) {
+	info := pc.pkg.Info
+	for _, f := range pc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, isFn := obj.(*types.Func); !isFn || !clockFuncs[obj.Name()] {
+				return true
+			}
+			pc.reportf("clockwall", sel.Pos(),
+				"wall-clock read time.%s in library code; results must be a function of the seed — justify the read with a directive or keep it behind the ctrl/mcf budget boundary", obj.Name())
+			return true
+		})
+	}
+	if !deterministicPkgs[pc.pkg.RelPath] || pc.prog == nil {
+		return
+	}
+	for _, s := range pc.prog.byPkg[pc.pkg.Path] {
+		rc := pc.prog.clock[s.fn]
+		if rc == nil || rc.depth == 0 {
+			continue // depth 0 is a direct read, already reported above
+		}
+		pc.reportf("clockwall", rc.site,
+			"%s transitively reaches a wall-clock read (%s); deterministic table-building code must not depend on wall time",
+			pc.prog.shortName(s.fn), pc.prog.path(rc.via, pc.prog.clock, clockSinkOf))
+	}
+}

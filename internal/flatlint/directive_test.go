@@ -1,0 +1,36 @@
+package flatlint
+
+import "testing"
+
+// TestDirectiveEdgeCases pins the reach of //flatlint:ignore on a
+// dedicated fixture module:
+//
+//   - one line tripping two analyzers (floatcmp and maporder) is fully
+//     suppressed by a standalone directive above plus an end-of-line
+//     directive — neither violation appears, neither directive is unused;
+//   - a directive separated from its target by a blank line does NOT
+//     apply — the violation and the unused directive are both reported;
+//   - a directive on a clean line is reported unused.
+func TestDirectiveEdgeCases(t *testing.T) {
+	r, err := NewRunner("testdata/src/directive-edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := r.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`edge.go:25: directive: unused ignore directive for "maporder" (no matching finding)`,
+		`edge.go:28: maporder: append inside a map range builds a slice in random order; sort it before use or iterate a sorted slice of keys`,
+		`edge.go:36: directive: unused ignore directive for "floatcmp" (no matching finding)`,
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(want), findings)
+	}
+	for i, f := range findings {
+		if f.String() != want[i] {
+			t.Errorf("finding %d:\n got %s\nwant %s", i, f.String(), want[i])
+		}
+	}
+}

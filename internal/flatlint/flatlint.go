@@ -4,8 +4,21 @@
 // and runs a table of repo-specific analyzers that machine-check the
 // correctness invariants the Flat-tree reproduction depends on: no exact
 // float equality in the numerics, no package-global randomness, a strict
-// package layering DAG, no silently discarded errors, and no panics in
-// library code.
+// package layering DAG, no silently discarded errors, no panics in
+// library code, deterministic map iteration, lifecycle-tied goroutines,
+// and wall-clock / RNG hygiene.
+//
+// The engine is two-phase and interprocedural. Phase 1 parses and
+// type-checks the module's packages concurrently (fan-out bounded by
+// internal/parallel; packages type-check in dependency waves so imports
+// are always resolved from finished work) and builds a per-function
+// summary: the static calls it makes, whether it reads the wall clock,
+// constructs an RNG from a hard-coded seed, or can terminate the process.
+// Phase 2 propagates those summaries over the call graph to a fixed
+// point, so analyzers can report *transitive* violations — a
+// deterministic-layer function that reaches time.Now three calls down is
+// flagged at its own call site, with the offending call chain in the
+// message.
 //
 // Findings print as "file:line: analyzer: message" with paths relative to
 // the module root. A finding can be suppressed with a directive comment
@@ -23,21 +36,24 @@ import (
 	"go/ast"
 	"go/build"
 	"go/importer"
-	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+
+	"flattree/internal/parallel"
 )
 
-// Finding is one analyzer report, already positioned.
+// Finding is one analyzer report, already positioned. The JSON field
+// names are the machine-readable contract of `flatlint -json`.
 type Finding struct {
-	File     string // path relative to the module root
-	Line     int
-	Analyzer string
-	Message  string
+	File     string `json:"file"` // path relative to the module root
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func (f Finding) String() string {
@@ -62,9 +78,13 @@ type Runner struct {
 
 	fset    *token.FileSet
 	pkgDirs map[string]string // import path -> absolute dir
-	loaded  map[string]*Pkg
-	loading map[string]bool // import-cycle guard
-	std     types.Importer
+
+	stdMu sync.Mutex // serializes the (stateful) standard-library importer
+	std   types.Importer
+
+	pkgs  map[string]*Pkg // every loaded package, keyed by import path
+	order []string        // sorted import paths of r.pkgs
+	prog  *program        // interprocedural summaries (built once per Run)
 }
 
 // NewRunner prepares a runner for the module rooted at dir (the directory
@@ -88,8 +108,6 @@ func NewRunner(dir string) (*Runner, error) {
 		module:  module,
 		fset:    fset,
 		pkgDirs: make(map[string]string),
-		loaded:  make(map[string]*Pkg),
-		loading: make(map[string]bool),
 		std:     importer.ForCompiler(fset, "source", nil),
 	}
 	if err := r.discover(); err != nil {
@@ -161,99 +179,52 @@ func (r *Runner) Packages() []string {
 }
 
 // Import resolves an import path for the type checker: module-local
-// packages are loaded recursively from source, everything else is handed
-// to the standard-library importer.
+// packages must already have been type-checked by an earlier dependency
+// wave; everything else is handed to the standard-library importer, which
+// is stateful and therefore serialized.
 func (r *Runner) Import(path string) (*types.Package, error) {
 	if path == r.module || strings.HasPrefix(path, r.module+"/") {
-		pkg, err := r.load(path)
-		if err != nil {
-			return nil, err
+		if pkg, ok := r.pkgs[path]; ok {
+			return pkg.Types, nil
 		}
-		return pkg.Types, nil
+		return nil, fmt.Errorf("flatlint: no package %q in module %s", path, r.module)
 	}
+	r.stdMu.Lock()
+	defer r.stdMu.Unlock()
 	return r.std.Import(path)
 }
 
-// load parses and type-checks one module-local package (memoized). Test
-// files are excluded: flatlint checks the library and binary surface, and
-// _test.go files may form external test packages that need different
-// loading rules.
-func (r *Runner) load(path string) (*Pkg, error) {
-	if pkg, ok := r.loaded[path]; ok {
-		return pkg, nil
-	}
-	if r.loading[path] {
-		return nil, fmt.Errorf("flatlint: import cycle through %q", path)
-	}
-	r.loading[path] = true
-	defer delete(r.loading, path)
-
-	dir, ok := r.pkgDirs[path]
-	if !ok {
-		return nil, fmt.Errorf("flatlint: no package %q in module %s", path, r.module)
-	}
-	ents, err := os.ReadDir(dir)
-	if err != nil {
+// Run loads every package in the module (interprocedural analysis needs
+// the whole call graph), builds the function summaries, and runs all
+// analyzers over the packages matched by patterns. Supported patterns:
+// "./..." (every package in the module) or a "./"-prefixed package
+// directory. With no patterns, "./..." is assumed. Findings return sorted
+// by file, line, then analyzer; suppressed and directive-consumed
+// findings are already filtered out.
+func (r *Runner) Run(patterns []string) ([]Finding, error) {
+	if err := r.loadAll(); err != nil {
 		return nil, err
 	}
-	var files []*ast.File
-	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(r.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+	if r.prog == nil {
+		prog, err := buildProgram(r)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
+		r.prog = prog
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("flatlint: no buildable Go files in %s", dir)
-	}
-
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-	}
-	conf := types.Config{Importer: r}
-	tpkg, err := conf.Check(path, r.fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("flatlint: type-checking %s: %w", path, err)
-	}
-	rel := strings.TrimPrefix(strings.TrimPrefix(path, r.module), "/")
-	pkg := &Pkg{
-		Path:    path,
-		RelPath: rel,
-		Dir:     dir,
-		Files:   files,
-		Fset:    r.fset,
-		Types:   tpkg,
-		Info:    info,
-	}
-	r.loaded[path] = pkg
-	return pkg, nil
-}
-
-// Run loads every package matched by patterns and runs all analyzers.
-// Supported patterns: "./..." (every package in the module) or a
-// "./"-prefixed package directory. With no patterns, "./..." is assumed.
-// Findings return sorted by file, line, then analyzer; suppressed and
-// directive-consumed findings are already filtered out.
-func (r *Runner) Run(patterns []string) ([]Finding, error) {
 	paths, err := r.expand(patterns)
 	if err != nil {
 		return nil, err
 	}
+	perPkg, err := parallel.Map(len(paths), 0, func(i int) ([]Finding, error) {
+		return r.check(r.pkgs[paths[i]]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var all []Finding
-	for _, path := range paths {
-		pkg, err := r.load(path)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, r.check(pkg)...)
+	for _, fs := range perPkg {
+		all = append(all, fs...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -306,8 +277,11 @@ func (r *Runner) expand(patterns []string) ([]string, error) {
 }
 
 // check runs every analyzer on one package and applies ignore directives.
+// Each package gets its own pkgChecker, so check is safe to call
+// concurrently for different packages: analyzers only write through the
+// checker and only read the (frozen) program summaries.
 func (r *Runner) check(pkg *Pkg) []Finding {
-	pc := &pkgChecker{r: r, pkg: pkg}
+	pc := &pkgChecker{r: r, pkg: pkg, prog: r.prog}
 	pc.collectDirectives()
 	for _, a := range analyzers {
 		if a.internalOnly && !strings.HasPrefix(pkg.RelPath, "internal/") {
@@ -331,6 +305,7 @@ type directive struct {
 type pkgChecker struct {
 	r          *Runner
 	pkg        *Pkg
+	prog       *program
 	findings   []Finding
 	directives []*directive
 }

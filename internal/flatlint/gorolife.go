@@ -1,0 +1,71 @@
+package flatlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// gorolife requires every `go` statement in library code to be tied to a
+// lifecycle. A fire-and-forget goroutine cannot be joined, cancelled, or
+// counted: it outlives experiments, leaks under -race, and turns clean
+// shutdown into a data race. The accepted lifecycles are the two this
+// repository actually uses — cancellation via a context.Context the
+// goroutine can observe, and joining via a sync.WaitGroup — plus fanning
+// the work out through internal/parallel, whose pool joins internally.
+//
+// Detection is structural: the spawned call (callee, arguments, and a
+// spawned function literal's body) must mention a value of type
+// context.Context or sync.WaitGroup. `go c.pump(ctx)`, `go func() { defer
+// wg.Done(); ... }()`, and `go a.run(hctx, conn)` all qualify; `go
+// leak()` does not. A goroutine that genuinely must outlive its caller
+// carries a reasoned //flatlint:ignore directive.
+func runGorolife(pc *pkgChecker) {
+	info := pc.pkg.Info
+	for _, f := range pc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !lifecycleTied(info, gs.Call) {
+				pc.reportf("gorolife", gs.Go,
+					"fire-and-forget goroutine in library code; tie it to a lifecycle — derive it from a context.Context, join it with a sync.WaitGroup, or fan out through internal/parallel")
+			}
+			return true
+		})
+	}
+}
+
+// lifecycleTied reports whether the spawned call mentions a
+// context.Context or sync.WaitGroup anywhere — callee expression,
+// arguments, or the body of a spawned function literal.
+func lifecycleTied(info *types.Info, call *ast.CallExpr) bool {
+	tied := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(expr); isContextType(t) || isWaitGroup(t) {
+			tied = true
+		}
+		return !tied
+	})
+	return tied
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,274 @@
+package flatlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// maporder flags ranging over a map where the loop body has an
+// order-sensitive effect. Go randomizes map iteration order on purpose,
+// so any such loop injects scheduling noise straight into results — the
+// exact bug class behind the original seed-collision hunt: validation
+// errors that name a different field per run, float sums whose digits
+// depend on hash order, table rows emitted in shuffled order.
+//
+// Order-sensitive effects inside a map-range body:
+//
+//   - append: builds a slice in random order. Allowed when the slice is
+//     passed to a sort.* / slices.Sort* call later in the same function
+//     (the collect-keys-then-sort idiom is the canonical fix).
+//   - floating-point compound accumulation (+=, -=, *=, /=): float
+//     addition is not associative, so the sum's digits depend on order.
+//   - channel send: delivers values in random order.
+//   - emit calls (Print*, Fprint*, WriteString, Write, reportf): output
+//     lands in random order.
+//   - return of a value that references the iteration variables: which
+//     entry returns first is random (first-error validation loops).
+//   - calls that can terminate the run (directly or transitively via the
+//     exit summaries — os.Exit, log.Fatal*, panic) with the iteration
+//     variable as an argument: which entry trips first is random.
+//
+// Order-insensitive bodies — counting, integer sums, min/max scans,
+// writes keyed by the loop variable into another map — are not flagged.
+func runMaporder(pc *pkgChecker) {
+	info := pc.pkg.Info
+	for _, f := range pc.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRange(info, rs) {
+					return true
+				}
+				pc.checkMapRange(fd, rs)
+				return true
+			})
+		}
+	}
+}
+
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange scans one map-range body for order-sensitive effects.
+// Nested map ranges are skipped — they get their own check — but nested
+// slice ranges and function literals are scanned as part of this body.
+func (pc *pkgChecker) checkMapRange(fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := pc.pkg.Info
+	loopVars := rangeVarObjects(info, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapRange(info, n) {
+				return false
+			}
+		case *ast.SendStmt:
+			pc.reportf("maporder", n.Arrow,
+				"channel send inside a map range delivers in random order; iterate a sorted slice of keys instead")
+		case *ast.AssignStmt:
+			pc.checkMapRangeAssign(n)
+		case *ast.CallExpr:
+			pc.checkMapRangeCall(fd, rs, n, loopVars)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if refersToAny(info, res, loopVars) {
+					pc.reportf("maporder", n.Return,
+						"return inside a map range depends on the iteration variable; which entry returns first is random — iterate a sorted slice of keys instead")
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags floating-point compound accumulation.
+func (pc *pkgChecker) checkMapRangeAssign(as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) == 1 && isFloat(pc.pkg.Info.TypeOf(as.Lhs[0])) {
+		pc.reportf("maporder", as.TokPos,
+			"floating-point %s inside a map range; float accumulation order changes the digits — iterate a sorted slice of keys instead", as.Tok)
+	}
+}
+
+// emitNames are call names that write output; emitting inside a map range
+// shuffles the output order.
+var emitNames = map[string]bool{
+	"print": true, "printf": true, "println": true,
+	"fprint": true, "fprintf": true, "fprintln": true,
+	"write": true, "writestring": true, "writebyte": true, "writerune": true,
+	"reportf": true,
+}
+
+// checkMapRangeCall flags appends (unless sorted afterwards), emit calls,
+// and calls that can terminate the run with a loop variable attached.
+func (pc *pkgChecker) checkMapRangeCall(fd *ast.FuncDecl, rs *ast.RangeStmt, call *ast.CallExpr, loopVars map[types.Object]bool) {
+	info := pc.pkg.Info
+
+	// Builtin append.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if obj := rootObject(info, call.Args[0]); obj == nil || !sortedAfter(info, fd, rs, obj) {
+				pc.reportf("maporder", call.Pos(),
+					"append inside a map range builds a slice in random order; sort it before use or iterate a sorted slice of keys")
+			}
+			return
+		}
+	}
+
+	// Builtin panic with a loop variable: which entry panics first is random.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin &&
+			len(call.Args) == 1 && refersToAny(info, call.Args[0], loopVars) {
+			pc.reportf("maporder", call.Pos(),
+				"panic inside a map range carries the iteration variable; which entry panics first is random — iterate a sorted slice of keys instead")
+			return
+		}
+	}
+
+	name := calleeName(call)
+	if emitNames[strings.ToLower(name)] {
+		pc.reportf("maporder", call.Pos(),
+			"%s inside a map range emits output in random order; iterate a sorted slice of keys instead", callName(call))
+		return
+	}
+
+	// Exit-reaching calls (direct or via the interprocedural exit
+	// summaries) that pass the iteration variable: first-failure
+	// semantics in map order.
+	callee := calleeOf(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	exits := isExitCall(callee.Pkg().Path(), callee.Name())
+	if !exits && pc.prog != nil {
+		_, exits = pc.prog.exits[callee]
+	}
+	if !exits {
+		return
+	}
+	for _, a := range call.Args {
+		if refersToAny(info, a, loopVars) {
+			pc.reportf("maporder", call.Pos(),
+				"call to %s (which can terminate the run) inside a map range passes the iteration variable; which entry trips first is random — iterate a sorted slice of keys instead", callName(call))
+			return
+		}
+	}
+}
+
+// rangeVarObjects collects the objects of the range's key and value
+// variables (both := and = forms).
+func rangeVarObjects(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
+}
+
+// refersToAny reports whether expr mentions any of the given objects.
+func refersToAny(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	if len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject resolves the variable an append targets; selector and index
+// targets (fields, map values) resolve to nil, which means "cannot prove
+// it gets sorted".
+func rootObject(info *types.Info, expr ast.Expr) types.Object {
+	if id, ok := expr.(*ast.Ident); ok {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// sortSelNames are the non-Sort-prefixed sort-package entry points.
+var sortSelNames = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.Sort*
+// call after the range statement in the same function — the
+// collect-then-sort idiom that restores determinism.
+func sortedAfter(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		if !strings.HasPrefix(sel.Sel.Name, "Sort") && !sortSelNames[sel.Sel.Name] {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := a.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeName extracts the bare name of a call target for the emit check.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,60 @@
+package flatlint
+
+import (
+	"go/ast"
+)
+
+// randflow is the interprocedural upgrade of globalrand: beyond banning
+// shared global generators, randomness in library code must *flow in*
+// from the caller — an injected *graph.RNG, or a seed that the caller
+// chose. A generator constructed from a hard-coded constant seed deep in
+// a helper silently decouples "reproducible" trials from the seed the
+// experiment config says it ran with; it is wrong in exactly the way a
+// global generator is wrong, just better hidden.
+//
+// Two rules:
+//
+//  1. Direct: constructing a generator from compile-time constant
+//     arguments — graph.NewRNG(42), rand.NewSource(1) — anywhere in
+//     internal library code is a finding. Construction from an injected
+//     seed (a parameter, a config or scenario field) is the repository's
+//     sanctioned seed-boundary idiom and is untouched, as is splitting a
+//     stream via graph.NewRNG(rng.Uint64()).
+//
+//  2. Transitive: in the deterministic packages (graph, topo, routing,
+//     metrics, experiments) a function must not reach a constant-seed
+//     construction through any chain of helpers. The finding lands on
+//     the call site and names the chain, so the place to inject the RNG
+//     is visible.
+func runRandflow(pc *pkgChecker) {
+	info := pc.pkg.Info
+	for _, f := range pc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if desc, ok := randCtorSink(info, call, callee); ok {
+				pc.reportf("randflow", call.Pos(),
+					"%s constructs an RNG from a hard-coded seed in library code; inject the seed or a *graph.RNG from the caller so trials stay reproducible", desc)
+			}
+			return true
+		})
+	}
+	if !deterministicPkgs[pc.pkg.RelPath] || pc.prog == nil {
+		return
+	}
+	for _, s := range pc.prog.byPkg[pc.pkg.Path] {
+		rc := pc.prog.randc[s.fn]
+		if rc == nil || rc.depth == 0 {
+			continue // depth 0 is a direct construction, already reported
+		}
+		pc.reportf("randflow", rc.site,
+			"%s transitively constructs an RNG from a hard-coded seed (%s); thread an injected *graph.RNG through instead",
+			pc.prog.shortName(s.fn), pc.prog.path(rc.via, pc.prog.randc, randSinkOf))
+	}
+}

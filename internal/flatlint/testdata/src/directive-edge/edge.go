@@ -1,0 +1,38 @@
+// Package edge exercises the corner cases of //flatlint:ignore
+// placement: two analyzers suppressed on one line, a directive separated
+// from its target by a blank line (which must NOT apply), and a directive
+// with no matching finding.
+package edge
+
+// FirstMatch has one line that trips two analyzers — floatcmp (== on
+// floats) and maporder (return carrying the iteration variable) — and
+// suppresses both: maporder by the standalone directive above the line,
+// floatcmp by the end-of-line directive. Neither may be reported, and
+// neither directive may be reported unused.
+func FirstMatch(m map[string]float64, want float64) string {
+	for k, v := range m {
+		//flatlint:ignore maporder edge case: caller treats any matching key as equivalent
+		if v == want { return k } //flatlint:ignore floatcmp edge case: exact sentinel comparison
+	}
+	return ""
+}
+
+// Separated has a directive cut off from its target by a blank line. The
+// suppression only reaches the same line or the line directly below, so
+// the append must still be reported and the directive reported unused.
+func Separated(m map[string]int) []string {
+	var out []string
+	//flatlint:ignore maporder edge case: blank line below severs this directive
+
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Unmatched carries a directive on a line with nothing to suppress; the
+// directive itself must be reported unused.
+func Unmatched() int {
+	x := 1 //flatlint:ignore floatcmp edge case: nothing on this line to suppress
+	return x
+}

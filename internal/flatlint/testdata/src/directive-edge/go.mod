@@ -1,0 +1,3 @@
+module directive-edge
+
+go 1.21

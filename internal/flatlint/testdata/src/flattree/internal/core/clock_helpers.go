@@ -1,0 +1,14 @@
+// Clock helpers for the clockwall fixture: core is an internal package,
+// so the direct read in tick is flagged here, and the TickTock → tick →
+// time.Now chain is what the deterministic-package fixture in
+// experiments reaches transitively.
+package core
+
+import "time"
+
+// TickTock forwards to tick; callers in deterministic packages inherit
+// the wall-clock taint through it.
+func TickTock() int64 { return tick() }
+
+// tick reads the wall clock directly and is flagged (clockwall, direct).
+func tick() int64 { return time.Now().UnixNano() }

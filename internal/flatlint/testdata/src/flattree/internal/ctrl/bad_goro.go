@@ -1,0 +1,31 @@
+// Package ctrl is the gorolife fixture: a goroutine in library code must
+// be tied to a lifecycle — a context it can observe, a WaitGroup that
+// joins it — or carry a reasoned directive.
+package ctrl
+
+import (
+	"context"
+	"sync"
+)
+
+// Fire spawns a goroutine nothing can join or cancel and is flagged.
+func Fire() { go leak() }
+
+func leak() {}
+
+// Watched derives the goroutine from a context and is clean.
+func Watched(ctx context.Context) { go watch(ctx) }
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// Pooled joins the goroutine through a WaitGroup and is clean.
+func Pooled(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+}
+
+// Daemon keeps its fire-and-forget goroutine under a reasoned waiver.
+func Daemon() {
+	//flatlint:ignore gorolife fixture: daemon intentionally outlives its caller
+	go leak()
+}

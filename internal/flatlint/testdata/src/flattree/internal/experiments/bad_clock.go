@@ -1,0 +1,27 @@
+// The clockwall fixture: experiments is a deterministic package, so both
+// direct wall-clock reads and transitive ones (through helpers in other
+// packages) are flagged; reads behind the mcf/ctrl trust boundary are not.
+package experiments
+
+import (
+	"time"
+
+	"flattree/internal/core"
+	"flattree/internal/mcf"
+)
+
+// Stamp reads the wall clock directly and is flagged (clockwall, direct).
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Table reaches time.Now two call hops down (core.TickTock → core.tick)
+// and is flagged transitively.
+func Table() int64 { return core.TickTock() }
+
+// Budgeted calls into mcf, a clockwall trust boundary (solver time
+// budgets), and is clean.
+func Budgeted() bool { return mcf.WithinBudget(time.Time{}) }
+
+// WaivedStamp demonstrates suppressing a transitive finding.
+func WaivedStamp() int64 {
+	return core.TickTock() //flatlint:ignore clockwall fixture: demonstrates suppressing a transitive finding
+}

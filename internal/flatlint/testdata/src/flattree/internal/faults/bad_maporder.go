@@ -1,0 +1,101 @@
+// Package faults is the maporder fixture: order-sensitive effects inside
+// a map range are flagged; collect-then-sort, counting, and keyed writes
+// are clean.
+package faults
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Validate returns the first offending entry in map order and is flagged:
+// which name the error reports changes run to run.
+func Validate(fracs map[string]float64) error {
+	for name, f := range fracs {
+		if f < 0 {
+			return fmt.Errorf("faults: %s fraction is negative", name)
+		}
+	}
+	return nil
+}
+
+// Sum accumulates floats in map order and is flagged: addition order
+// changes the digits.
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Collect appends in map order without sorting and is flagged.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Feed sends in map order and is flagged.
+func Feed(m map[int]bool, ch chan int) {
+	for k := range m {
+		ch <- k
+	}
+}
+
+// Check calls a helper that exits the process two hops down, passing the
+// iteration variable, and is flagged: which entry trips first is random.
+func Check(m map[string]int) {
+	for k, v := range m {
+		if v < 0 {
+			complain(k)
+		}
+	}
+}
+
+func complain(k string) { die("faults: bad entry " + k) }
+
+func die(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
+}
+
+// SortedKeys collects then sorts — the canonical fix — and is clean.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count increments an integer, which is order-insensitive, and is clean.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Invert writes keyed by the loop variable into another map and is clean.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Waived keeps its unsorted append under a reasoned waiver.
+func Waived(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //flatlint:ignore maporder fixture: caller sorts the result
+	}
+	return out
+}

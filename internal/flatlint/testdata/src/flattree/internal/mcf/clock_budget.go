@@ -1,0 +1,11 @@
+package mcf
+
+import "time"
+
+// WithinBudget reads the wall clock for a solver time budget. The read
+// is justified with a directive, and mcf is a clockwall trust boundary:
+// the deterministic-package caller in the experiments fixture is NOT
+// flagged for calling it.
+func WithinBudget(deadline time.Time) bool {
+	return time.Now().Before(deadline) //flatlint:ignore clockwall fixture: solver time budget is wall-clock by design
+}

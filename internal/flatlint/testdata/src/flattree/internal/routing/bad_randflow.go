@@ -1,0 +1,22 @@
+// The randflow fixture: routing is a deterministic package, so reaching
+// a hard-coded RNG seed through any chain of helpers is flagged at the
+// call site, with the chain in the message.
+package routing
+
+import "flattree/internal/graph"
+
+// BuildTables reaches graph.NewRNG(7) two call hops down (viaHelper →
+// graph.DefaultRNG → the constructor) and is flagged transitively.
+func BuildTables() int { return viaHelper() }
+
+// viaHelper is one hop from the constant-seed construction and is
+// flagged transitively too.
+func viaHelper() int { return graph.DefaultRNG().Intn(8) }
+
+// Injected receives its generator from the caller and is clean.
+func Injected(rng *graph.RNG) int { return rng.Intn(8) }
+
+// Waived demonstrates suppressing a transitive finding.
+func Waived() int {
+	return viaHelper() //flatlint:ignore randflow fixture: demonstrates suppressing a transitive finding
+}

@@ -14,6 +14,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Sense is a constraint relation.
@@ -84,8 +85,16 @@ func (p *Problem) Maximize() { p.maximize = true }
 
 // AddConstraint appends sum(coefs[v]*x[v]) sense rhs.
 func (p *Problem) AddConstraint(coefs map[int]float64, sense Sense, rhs float64) {
+	// Visit variables in sorted order so that when several indices are out
+	// of range, the panic always names the smallest one.
+	vars := make([]int, 0, len(coefs))
+	for v := range coefs {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
 	cp := make(map[int]float64, len(coefs))
-	for v, c := range coefs {
+	for _, v := range vars {
+		c := coefs[v]
 		if v < 0 || v >= p.numVars {
 			//flatlint:ignore nopanic out-of-range variable index is a programmer error in problem construction
 			panic(fmt.Sprintf("lp: constraint references variable %d of %d", v, p.numVars))

@@ -351,7 +351,7 @@ func MaxConcurrentFlow(ctx context.Context, nw *topo.Network, commodities []Comm
 	res := Result{UpperBound: math.Inf(1)}
 	var deadline time.Time
 	if opt.TimeBudget > 0 {
-		deadline = time.Now().Add(opt.TimeBudget)
+		deadline = time.Now().Add(opt.TimeBudget) //flatlint:ignore clockwall TimeBudget is an explicit wall-clock cap; it bounds work, never the answer for a converged run
 	}
 	converged := false
 
@@ -372,6 +372,7 @@ phases:
 				if err := ctx.Err(); err != nil {
 					return Result{}, err
 				}
+				//flatlint:ignore clockwall checking the explicit TimeBudget deadline; degrades to best-so-far, never changes a converged result
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					break phases // budget spent: degrade to best-so-far λ
 				}

@@ -4,8 +4,11 @@
 # race detector on the concurrent packages (the ctrl control plane spawns
 # per-connection goroutines; dynsim drives it under load; parallel is the
 # deterministic fan-out runner; graph, metrics, faults, and experiments fan
-# their sweeps out through it). CI and local development both run exactly
-# this script:
+# their sweeps out through it; flatlint parses and type-checks packages
+# concurrently). The unit-test leg runs with -shuffle=on so inter-test
+# ordering dependencies surface, and the flatlint leg archives its -json
+# findings as FLATLINT.json next to the benchmark baselines. CI and local
+# development both run exactly this script:
 #
 #	./scripts/check.sh
 #
@@ -33,14 +36,22 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "== flatlint"
-go run ./cmd/flatlint ./...
+# The -json artifact is archived next to the benchmark baselines so a CI
+# run leaves a machine-readable record ([] when clean). flatlint exits 1
+# on findings, which stops the run after the artifact is written.
+go run ./cmd/flatlint -json ./... > FLATLINT.json || {
+    echo "flatlint: findings (see FLATLINT.json):" >&2
+    go run ./cmd/flatlint ./... >&2 || true
+    exit 1
+}
 
 echo "== go test"
-go test ./...
+go test -shuffle=on ./...
 
 echo "== go test -race (concurrent packages)"
 go test -race ./internal/ctrl/... ./internal/dynsim/... \
     ./internal/parallel/... ./internal/graph/... ./internal/metrics/... \
-    ./internal/faults/... ./internal/experiments/...
+    ./internal/faults/... ./internal/experiments/... \
+    ./internal/flatlint/...
 
 echo "ok: all checks passed"
