@@ -23,12 +23,14 @@ import (
 	"flattree/internal/dynsim"
 	"flattree/internal/experiments"
 	"flattree/internal/fattree"
+	"flattree/internal/faults"
 	"flattree/internal/flowsim"
 	"flattree/internal/graph"
 	"flattree/internal/jellyfish"
 	"flattree/internal/mcf"
 	"flattree/internal/metrics"
 	"flattree/internal/routing"
+	"flattree/internal/topo"
 	"flattree/internal/traffic"
 )
 
@@ -243,6 +245,99 @@ func BenchmarkAblationEpsilon(b *testing.B) {
 			b.ReportMetric(float64(res.Dijkstras), "dijkstras")
 		})
 	}
+}
+
+// BenchmarkSolverSequence measures the repeated-solve workload the
+// experiment drivers actually run: a failure → dark-window → repair
+// trajectory of link-level variants of one fabric, solved back to back
+// under the same permutation workload. The cold variant solves every
+// network from scratch (one MaxConcurrentFlow each); the warm variant
+// chains one mcf.Solver through the sequence, warm-starting each solve
+// from the previous length function. Both report their worst DualGap, so
+// the snapshot in BENCH_mcf.json can show the speedup comes with the ε
+// contract intact.
+func BenchmarkSolverSequence(b *testing.B) {
+	ft, err := core.Build(core.Params{K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ft.SetUniformMode(core.ModeGlobalRandom); err != nil {
+		b.Fatal(err)
+	}
+	base := ft.Net()
+	nets := []*topo.Network{base}
+	for i, frac := range []float64{0.08, 0.12} {
+		sc := faults.Scenario{LinkFraction: frac, Seed: uint64(21 + i)}
+		out, err := faults.Fail(base, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Dark window: the staged repair has restored roughly half the
+		// damage (Degrade at half the fraction approximates the mid-repair
+		// network without standing up the live control plane).
+		sc.LinkFraction = frac / 2
+		win, err := faults.Degrade(base, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, _, err := faults.Recover(out, faults.RecoverOptions{
+			Seed: uint64(91 + i), Rewirable: faults.DefaultRewirable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets = append(nets, out.Net, win, rec)
+	}
+	servers := base.Servers()
+	perm := graph.NewRNG(7).Perm(len(servers))
+	comms := make([]mcf.Commodity, 0, len(servers))
+	for i, p := range perm {
+		if i != p {
+			comms = append(comms, mcf.Commodity{Src: servers[i], Dst: servers[p], Demand: 1})
+		}
+	}
+	opt := mcf.Options{Epsilon: 0.1}
+	report := func(b *testing.B, results []mcf.Result) {
+		b.Helper()
+		worstGap, dijkstras, warm := 0.0, 0, 0
+		for _, r := range results {
+			if g := r.DualGap(); g > worstGap {
+				worstGap = g
+			}
+			dijkstras += r.Dijkstras
+			if r.WarmStarted {
+				warm++
+			}
+		}
+		b.ReportMetric(worstGap, "dual_gap_max")
+		b.ReportMetric(float64(dijkstras), "dijkstras")
+		b.ReportMetric(float64(warm), "warm_starts")
+		b.ReportMetric(results[len(results)-1].Lambda, "lambda_last")
+	}
+	results := make([]mcf.Result, len(nets))
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for ni, nw := range nets {
+				results[ni], err = mcf.MaxConcurrentFlow(context.Background(), nw, comms, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		report(b, results)
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := mcf.GetSolver()
+			for ni, nw := range nets {
+				results[ni], err = s.Solve(context.Background(), nw, comms, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			s.Release()
+		}
+		report(b, results)
+	})
 }
 
 // BenchmarkAblationRouting compares practical routing schemes (§2.6)

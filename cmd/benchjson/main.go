@@ -1,0 +1,284 @@
+// Command benchjson maintains BENCH_mcf.json, the repository's solver
+// benchmark baseline. It consumes raw `go test -bench` output and either
+// renders a fresh baseline file or checks the fresh numbers against the
+// checked-in one.
+//
+// Render mode (the default) writes a new baseline JSON:
+//
+//	go test -bench ... | tee raw.txt
+//	benchjson -bench raw.txt -in BENCH_mcf.json -out BENCH_mcf.json
+//
+// Every frozen section of the input file — the top-level keys starting
+// with "baseline" — is carried forward verbatim, so the historical perf
+// trajectory lives only in the checked-in JSON and can never silently
+// diverge from a generator script. A missing input file or an input with
+// no frozen sections is a hard error: regenerating the baseline must never
+// drop history.
+//
+// Check mode compares the fresh run against the checked-in current
+// numbers and exits non-zero on a >15% ns/op regression in any solver
+// benchmark (BenchmarkAblationEpsilon, BenchmarkFleischer,
+// BenchmarkSolverSequence):
+//
+//	benchjson -bench raw.txt -in BENCH_mcf.json -check
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// solverPrefixes names the benchmarks the -check regression gate guards:
+// the FPTAS hot paths whose wall-time the experiment sweeps are made of.
+var solverPrefixes = []string{
+	"BenchmarkAblationEpsilon",
+	"BenchmarkFleischer",
+	"BenchmarkSolverSequence",
+}
+
+// regressionLimit is the relative ns/op increase -check tolerates before
+// failing; iteration-pinned benchtimes keep run-to-run noise well under it.
+const regressionLimit = 0.15
+
+func main() {
+	benchPath := flag.String("bench", "", "raw `go test -bench` output file (required)")
+	inPath := flag.String("in", "BENCH_mcf.json", "checked-in baseline JSON to carry frozen sections from / check against")
+	outPath := flag.String("out", "", "output file for render mode (default: stdout)")
+	check := flag.Bool("check", false, "compare the fresh run against -in instead of rendering; exit 1 on >15% solver ns/op regression")
+	benchtime := flag.String("benchtime", "", "solver benchtime label recorded in the output")
+	flag.Parse()
+	if *benchPath == "" {
+		fail("missing -bench: raw benchmark output is required")
+	}
+	results, err := parseBench(*benchPath)
+	if err != nil {
+		fail("parsing %s: %v", *benchPath, err)
+	}
+	if len(results) == 0 {
+		fail("%s contains no Benchmark result lines", *benchPath)
+	}
+	base, err := loadBaseline(*inPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *check {
+		if err := checkRegressions(results, base); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("benchjson: no solver regression beyond %d%% vs %s\n", int(regressionLimit*100), *inPath)
+		return
+	}
+	out, err := render(results, base, *benchtime)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *outPath == "" {
+		fmt.Print(out)
+		return
+	}
+	if err := os.WriteFile(*outPath, []byte(out), 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("benchjson: wrote %s\n", *outPath)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// metric is one benchmark's parsed measurements, keyed by normalized unit
+// (ns/op -> ns_op, B/op -> bytes_op, custom metrics keep their names).
+type metric struct {
+	iterations int64
+	values     map[string]float64
+}
+
+// parseBench extracts "BenchmarkX-N  iters  v1 unit1  v2 unit2 ..." lines.
+func parseBench(path string) (map[string]metric, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]metric)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // not a result line (e.g. a subtest header)
+		}
+		m := metric{iterations: iters, values: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			unit := fields[i+1]
+			if unit == "B/op" {
+				unit = "bytes_op"
+			}
+			m.values[strings.ReplaceAll(unit, "/", "_")] = v
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+// loadBaseline reads the checked-in JSON and validates it still carries
+// its frozen history.
+func loadBaseline(path string) (map[string]json.RawMessage, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checked-in baseline %s unreadable: %w (the frozen sections live only there; refusing to continue without them)", path, err)
+	}
+	var base map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	frozen := 0
+	for k := range base {
+		if strings.HasPrefix(k, "baseline") {
+			frozen++
+		}
+	}
+	if frozen == 0 {
+		return nil, fmt.Errorf("%s has no frozen baseline* sections; regenerating would drop the perf history", path)
+	}
+	return base, nil
+}
+
+// render produces the new baseline JSON: fresh header, every frozen
+// section of the input carried forward verbatim (sorted by name), then the
+// fresh results.
+func render(results map[string]metric, base map[string]json.RawMessage, benchtime string) (string, error) {
+	var b strings.Builder
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "  %s: %s,\n", quote("description"),
+		quote("solver benchmark baseline; regenerate with ./scripts/bench.sh, gate with ./scripts/bench.sh --check"))
+	fmt.Fprintf(&b, "  %s: %s,\n", quote("go"),
+		quote(fmt.Sprintf("%s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)))
+	if benchtime != "" {
+		fmt.Fprintf(&b, "  %s: %s,\n", quote("solver_benchtime"), quote(benchtime))
+	}
+	var frozen []string
+	for k := range base {
+		if strings.HasPrefix(k, "baseline") {
+			frozen = append(frozen, k)
+		}
+	}
+	sort.Strings(frozen)
+	for _, k := range frozen {
+		var pretty any
+		if err := json.Unmarshal(base[k], &pretty); err != nil {
+			return "", fmt.Errorf("frozen section %q: %w", k, err)
+		}
+		enc, err := json.MarshalIndent(pretty, "  ", "  ")
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %s: %s,\n", quote(k), enc)
+	}
+	b.WriteString("  \"benchmarks\": {\n    \"results\": {\n")
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		m := results[name]
+		fmt.Fprintf(&b, "      %s: {\"iterations\": %d", quote(name), m.iterations)
+		units := make([]string, 0, len(m.values))
+		for u := range m.values {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			fmt.Fprintf(&b, ", %s: %s", quote(u), strconv.FormatFloat(m.values[u], 'g', -1, 64))
+		}
+		b.WriteString("}")
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("    }\n  }\n}\n")
+	return b.String(), nil
+}
+
+func quote(s string) string {
+	enc, _ := json.Marshal(s)
+	return string(enc)
+}
+
+// checkRegressions compares fresh solver ns/op against the checked-in
+// current section and errors on any relative increase beyond the limit.
+func checkRegressions(fresh map[string]metric, base map[string]json.RawMessage) error {
+	var current struct {
+		Results map[string]map[string]float64 `json:"results"`
+	}
+	raw, ok := base["benchmarks"]
+	if !ok {
+		return fmt.Errorf("checked-in baseline has no \"benchmarks\" section to check against")
+	}
+	if err := json.Unmarshal(raw, &current); err != nil {
+		return fmt.Errorf("parsing checked-in benchmarks: %w", err)
+	}
+	isSolver := func(name string) bool {
+		for _, p := range solverPrefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	names := make([]string, 0, len(current.Results))
+	for name := range current.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	compared := 0
+	var regressions []string
+	for _, name := range names {
+		if !isSolver(name) {
+			continue
+		}
+		was := current.Results[name]["ns_op"]
+		m, ok := fresh[name]
+		if !ok || was <= 0 {
+			continue // solver bench not in this run (or malformed record)
+		}
+		now := m.values["ns_op"]
+		compared++
+		if rel := now/was - 1; rel > regressionLimit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.0f%%)", name, was, now, rel*100))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no solver benchmarks overlap between the fresh run and the checked-in baseline; nothing was checked")
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("solver ns/op regressions beyond %d%%:\n  %s",
+			int(regressionLimit*100), strings.Join(regressions, "\n  "))
+	}
+	return nil
+}

@@ -36,6 +36,14 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 			cfg.Epsilon = 0.3 // determinism is epsilon-independent; keep the live-plant run fast
 			return SelfHeal(context.Background(), cfg, 6, 0.25, 2)
 		}},
+		{"hybrid", func(cfg Config) (*Table, error) {
+			// Per-proportion solver chains (zoneG → zoneL → joint) must
+			// stay a pure function of the work item at any worker count.
+			cfg.HybridK = 6
+			cfg.Epsilon = 0.3
+			tab, _, err := Hybrid(context.Background(), cfg)
+			return tab, err
+		}},
 		{"profile", func(cfg Config) (*Table, error) {
 			tab, _, err := Profile(context.Background(), cfg, 8)
 			return tab, err

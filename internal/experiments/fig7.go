@@ -14,8 +14,9 @@ import (
 
 // throughput runs the paper's throughput methodology on one topology: build
 // clusters under the placement policy, emit the pattern's commodities, and
-// solve maximum concurrent flow.
-func throughput(ctx context.Context, nw *topo.Network, serverIDs []int, clusterSize int, placement traffic.Placement,
+// solve maximum concurrent flow on the caller's Solver (which carries the
+// aggregated problem, arena, and warm-start state across a sweep's solves).
+func throughput(ctx context.Context, s *mcf.Solver, nw *topo.Network, serverIDs []int, clusterSize int, placement traffic.Placement,
 	pattern func([]traffic.Cluster) []mcf.Commodity, seed uint64, epsilon float64, budget time.Duration) (mcf.Result, error) {
 	clusters, err := traffic.MakeClusters(nw, serverIDs, traffic.Spec{
 		ClusterSize: clusterSize,
@@ -25,7 +26,7 @@ func throughput(ctx context.Context, nw *topo.Network, serverIDs []int, clusterS
 	if err != nil {
 		return mcf.Result{}, err
 	}
-	return mcf.MaxConcurrentFlow(ctx, nw, pattern(clusters), mcf.Options{Epsilon: epsilon, TimeBudget: budget})
+	return s.Solve(ctx, nw, pattern(clusters), mcf.Options{Epsilon: epsilon, TimeBudget: budget})
 }
 
 // BroadcastClusterSize is the paper's hot-spot cluster size (§3.3).
@@ -48,10 +49,14 @@ func allToAllPattern(cl []traffic.Cluster) []mcf.Commodity {
 // throughputFigure is the shared engine behind Figures 7 and 8: for every k
 // in the sweep it builds the figure's topology suite, then measures the
 // Trials-averaged max concurrent flow of every (topology, placement) column.
-// All (k, column, trial) cells run concurrently through the worker pool —
-// the sweep is the hottest loop in the repository, and every cell is an
-// independent LP solve — and the trial averages are reduced in trial order,
-// so the table is byte-identical for every Parallelism setting.
+// The work items are the (column, trial) pairs; each owns one pooled
+// mcf.Solver and walks the adjacent-k solves in sweep order, so the
+// solver's aggregated problem and arena amortize across the whole column.
+// (Different k means a different switch set, so these chained solves run
+// cold by the warm-start gate — the figures stay bit-identical to
+// independent solves.) Items run concurrently through the worker pool and
+// the trial averages are reduced in trial order, so the table is
+// byte-identical for every Parallelism setting.
 func throughputFigure(ctx context.Context, cfg Config, fig string, t *Table, mode core.Mode, withTwoStage bool,
 	clusterSize int, placements []traffic.Placement,
 	pattern func([]traffic.Cluster) []mcf.Commodity,
@@ -78,16 +83,21 @@ func throughputFigure(ctx context.Context, cfg Config, fig string, t *Table, mod
 		lambda float64
 		approx bool
 	}
-	lambdas, err := parallel.MapCtx(ctx, len(ks)*perK, workers, func(idx int) (solve, error) {
-		ki, rest := idx/perK, idx%perK
-		ci, tr := rest/trials, rest%trials
-		nw := netsOf(suites[ki])[ci/numPl]
-		res, err := throughput(ctx, nw, serverIDsOf(nw), clusterSize, placements[ci%numPl],
-			pattern, seeds.Seed(uint64(tr)), cfg.Epsilon, cfg.SolveBudget)
-		if err != nil {
-			return solve{}, fmt.Errorf("%s k=%d net=%d trial=%d: %w", fig, ks[ki], ci/numPl, tr, err)
+	lambdas, err := parallel.MapCtx(ctx, perK, workers, func(idx int) ([]solve, error) {
+		ci, tr := idx/trials, idx%trials
+		s := mcf.GetSolver()
+		defer s.Release()
+		out := make([]solve, len(ks))
+		for ki := range ks {
+			nw := netsOf(suites[ki])[ci/numPl]
+			res, err := throughput(ctx, s, nw, serverIDsOf(nw), clusterSize, placements[ci%numPl],
+				pattern, seeds.Seed(uint64(tr)), cfg.Epsilon, cfg.SolveBudget)
+			if err != nil {
+				return nil, fmt.Errorf("%s k=%d net=%d trial=%d: %w", fig, ks[ki], ci/numPl, tr, err)
+			}
+			out[ki] = solve{res.Lambda, res.Approximate}
 		}
-		return solve{res.Lambda, res.Approximate}, nil
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
@@ -98,7 +108,7 @@ func throughputFigure(ctx context.Context, cfg Config, fig string, t *Table, mod
 		for ci := 0; ci < cols; ci++ {
 			sum, approx := 0.0, false
 			for tr := 0; tr < trials; tr++ {
-				s := lambdas[ki*perK+ci*trials+tr]
+				s := lambdas[ci*trials+tr][ki]
 				sum += s.lambda
 				approx = approx || s.approx
 			}

@@ -37,7 +37,13 @@ type HybridRow struct {
 // Mode flips mutate the shared flat-tree, so the reference solves and the
 // per-proportion network snapshots are prepared sequentially; the nine
 // proportions' cluster builds and MCF solves (three LPs each) then fan out
-// through the worker pool and are merged back in proportion order.
+// through the worker pool and are merged back in proportion order. Each
+// proportion owns one pooled mcf.Solver, amortizing the aggregated problem
+// and arena across its three solves. The three demand sets (zoneG, zoneL,
+// joint) are disjoint, so the warm-start gate keeps every solve cold — λ
+// captured from one zone would mis-normalize the next by the ratio of
+// their throughputs — and the table is bit-identical to independent
+// solves at every worker count.
 func Hybrid(ctx context.Context, cfg Config) (*Table, []HybridRow, error) {
 	k := cfg.HybridK
 	if k == 0 {
@@ -93,6 +99,8 @@ func Hybrid(ctx context.Context, cfg Config) (*Table, []HybridRow, error) {
 
 	rows, err := parallel.MapCtx(ctx, len(cases), cfg.workers(), func(i int) (HybridRow, error) {
 		zg, nw := cases[i].zg, cases[i].nw
+		s := mcf.GetSolver()
+		defer s.Release()
 
 		// Zone server sets (servers keep home-pod labels).
 		var globalServers, localServers []int
@@ -116,11 +124,11 @@ func Hybrid(ctx context.Context, cfg Config) (*Table, []HybridRow, error) {
 		gComms := broadcastPattern(gcl)
 		lComms := allToAllPattern(lcl)
 
-		resG, err := mcf.MaxConcurrentFlow(ctx, nw, gComms, mcf.Options{Epsilon: cfg.Epsilon})
+		resG, err := s.Solve(ctx, nw, gComms, mcf.Options{Epsilon: cfg.Epsilon})
 		if err != nil {
 			return HybridRow{}, err
 		}
-		resL, err := mcf.MaxConcurrentFlow(ctx, nw, lComms, mcf.Options{Epsilon: cfg.Epsilon})
+		resL, err := s.Solve(ctx, nw, lComms, mcf.Options{Epsilon: cfg.Epsilon})
 		if err != nil {
 			return HybridRow{}, err
 		}
@@ -136,7 +144,7 @@ func Hybrid(ctx context.Context, cfg Config) (*Table, []HybridRow, error) {
 		for _, c := range lComms {
 			joint = append(joint, mcf.Commodity{Src: c.Src, Dst: c.Dst, Demand: c.Demand * resL.Lambda})
 		}
-		resJ, err := mcf.MaxConcurrentFlow(ctx, nw, joint, mcf.Options{Epsilon: cfg.Epsilon})
+		resJ, err := s.Solve(ctx, nw, joint, mcf.Options{Epsilon: cfg.Epsilon})
 		if err != nil {
 			return HybridRow{}, err
 		}
@@ -169,7 +177,9 @@ func completeRef(ctx context.Context, ft *core.FlatTree, mode core.Mode, cluster
 		return 0, err
 	}
 	nw := ft.Net()
-	res, err := throughput(ctx, nw, serverIDsOf(nw), clusterSize, traffic.Locality, pattern, cfg.Seed, cfg.Epsilon, cfg.SolveBudget)
+	s := mcf.GetSolver()
+	defer s.Release()
+	res, err := throughput(ctx, s, nw, serverIDsOf(nw), clusterSize, traffic.Locality, pattern, cfg.Seed, cfg.Epsilon, cfg.SolveBudget)
 	if err != nil {
 		return 0, err
 	}

@@ -33,12 +33,19 @@ type healStage struct {
 //
 // The live phase runs trials sequentially (its outcome is a deterministic
 // function of the seed; TCP timing only affects wall-clock), and the
-// measurement cells fan out over cfg.Parallelism workers reducing in index
-// order — so the table is byte-identical at every worker count. λ is the
-// max concurrent flow of a seeded permutation workload over the largest
-// connected component's servers (dark windows detach some servers; they
-// are down, not partitioned, and the surviving fabric's throughput is the
-// quantity of interest).
+// measurement fans out one work item per trial over cfg.Parallelism
+// workers, reducing in index order — so the table is byte-identical at
+// every worker count. Each trial owns one pooled mcf.Solver and walks its
+// trajectory in stage order: consecutive stages are link-level deltas of
+// the same fabric, so a solve warm-starts from the previous stage whenever
+// the measured commodity set carries over (the permutation is re-drawn
+// over the largest component's servers, so stages where that component
+// shifts — e.g. entering the first dark window — run cold by the gate).
+// Grouping by trial (not by cell) is what keeps the warm chain a pure
+// function of the trial, independent of scheduling. λ is the max concurrent flow of a seeded permutation
+// workload over the largest connected component's servers (dark windows
+// detach some servers; they are down, not partitioned, and the surviving
+// fabric's throughput is the quantity of interest).
 func SelfHeal(ctx context.Context, cfg Config, k int, failFrac float64, batchSize int) (*Table, error) {
 	if k == 0 {
 		k = 8
@@ -89,28 +96,32 @@ func SelfHeal(ctx context.Context, cfg Config, k int, failFrac float64, batchSiz
 		conn, apl, lambda  float64
 		finite, approx, ok bool
 	}
-	results, err := parallel.MapCtx(ctx, trials*len(canon), cfg.workers(), func(idx int) (healCell, error) {
-		tr, si := idx/len(canon), idx%len(canon)
-		nw := netOf[tr][canon[si]]
-		if nw == nil {
-			return healCell{}, nil // this trial's repair used fewer windows
+	results, err := parallel.MapCtx(ctx, trials, cfg.workers(), func(tr int) ([]healCell, error) {
+		s := mcf.GetSolver()
+		defer s.Release()
+		cells := make([]healCell, len(canon))
+		for si, name := range canon {
+			nw := netOf[tr][name]
+			if nw == nil {
+				continue // this trial's repair used fewer windows
+			}
+			rep, err := faults.Analyze(nw)
+			if err != nil {
+				return nil, fmt.Errorf("selfheal %s trial=%d: %w", name, tr, err)
+			}
+			c := healCell{conn: rep.LargestComponentFrac, apl: rep.APL, finite: rep.APL > 0, ok: true}
+			comms := componentCommodities(nw, seeds.Seed(1<<32|uint64(tr)))
+			if len(comms) > 0 {
+				res, err := s.Solve(ctx, nw, comms, mcf.Options{
+					Epsilon: cfg.Epsilon, SkipDualBound: true, TimeBudget: cfg.SolveBudget})
+				if err != nil {
+					return nil, fmt.Errorf("selfheal %s trial=%d: %w", name, tr, err)
+				}
+				c.lambda, c.approx = res.Lambda, res.Approximate
+			}
+			cells[si] = c
 		}
-		rep, err := faults.Analyze(nw)
-		if err != nil {
-			return healCell{}, fmt.Errorf("selfheal %s trial=%d: %w", canon[si], tr, err)
-		}
-		c := healCell{conn: rep.LargestComponentFrac, apl: rep.APL, finite: rep.APL > 0, ok: true}
-		comms := componentCommodities(nw, seeds.Seed(1<<32|uint64(tr)))
-		if len(comms) == 0 {
-			return c, nil
-		}
-		res, err := mcf.MaxConcurrentFlow(ctx, nw, comms, mcf.Options{
-			Epsilon: cfg.Epsilon, SkipDualBound: true, TimeBudget: cfg.SolveBudget})
-		if err != nil {
-			return healCell{}, fmt.Errorf("selfheal %s trial=%d: %w", canon[si], tr, err)
-		}
-		c.lambda, c.approx = res.Lambda, res.Approximate
-		return c, nil
+		return cells, nil
 	})
 	if err != nil {
 		return nil, err
@@ -126,7 +137,7 @@ func SelfHeal(ctx context.Context, cfg Config, k int, failFrac float64, batchSiz
 		n, fin := 0, 0
 		approx := false
 		for tr := 0; tr < trials; tr++ {
-			c := results[tr*len(canon)+si]
+			c := results[tr][si]
 			if !c.ok {
 				continue
 			}

@@ -27,7 +27,7 @@ func (g *Graph) Dijkstra(src int, length []float64, dist []float64, prev []int32
 	if prev == nil {
 		prev = w.Prev
 	}
-	w.run(int32(src), length, dist, prev, nil, nil)
+	w.run(int32(src), length, dist, prev, nil, nil, nil)
 }
 
 // ShortestPath returns one shortest path from src to dst under the given

@@ -25,6 +25,9 @@ type Workspace struct {
 	key  []float64 // distance slice ordering the heap during a run
 	heap []int32   // node ids, 4-ary min-heap by (key, id)
 	pos  []int32   // node -> heap slot, -1 when absent
+
+	tmark  []uint64 // target marks for DijkstraTargets, epoch-stamped
+	tepoch uint64   // current target epoch; bumping it clears all marks
 }
 
 // NewWorkspace returns a Workspace sized for g. The graph must not gain
@@ -74,14 +77,35 @@ func (w *Workspace) Rebind(g *Graph) {
 // Dijkstra computes shortest distances from src under per-edge lengths
 // length[e] (which must be non-negative) into w.Dist and w.Prev.
 func (w *Workspace) Dijkstra(src int, length []float64) {
-	w.run(int32(src), length, w.Dist, w.Prev, nil, nil)
+	w.run(int32(src), length, w.Dist, w.Prev, nil, nil, nil)
+}
+
+// DijkstraTargets is the batched oracle under the FPTAS throughput solver:
+// one source-grouped pass that serves every commodity of a source at once.
+// It runs Dijkstra from src but stops as soon as all the given target nodes
+// have been settled, instead of exhausting the whole graph. On return,
+// Dist/Prev are exact for every settled node — in particular for every
+// reachable target and for every node on a shortest path to one (strictly
+// positive lengths mean path predecessors settle before the target) — so
+// walking Prev from a target yields the same tree edges a full Dijkstra
+// would. Unreachable targets are reported at +Inf: the search exhausts
+// their component before it can stop, which is exactly the full-run
+// behavior. Unsettled nodes hold only tentative distances (or +Inf if
+// never reached); callers must not read them.
+//
+// Because the settled pop sequence of the early-stopped run is a prefix of
+// the full run's pop sequence (same heap, same deterministic tie-break),
+// results for targets are bit-identical to Dijkstra's — callers trade no
+// reproducibility for the saved work.
+func (w *Workspace) DijkstraTargets(src int, length []float64, targets []int32) {
+	w.run(int32(src), length, w.Dist, w.Prev, nil, nil, targets)
 }
 
 // DijkstraBanned is Dijkstra with Yen's spur machinery: bannedEdge (len M)
 // marks edges that must not be used and bannedNode (len N) nodes that must
 // not be traversed. Either may be nil.
 func (w *Workspace) DijkstraBanned(src int, length []float64, bannedEdge, bannedNode []bool) {
-	w.run(int32(src), length, w.Dist, w.Prev, bannedEdge, bannedNode)
+	w.run(int32(src), length, w.Dist, w.Prev, bannedEdge, bannedNode, nil)
 }
 
 // ShortestPath returns one shortest path from src to dst under the given
@@ -98,15 +122,36 @@ func (w *Workspace) ShortestPath(src, dst int, length []float64) (Path, bool) {
 // run is the kernel: a textbook Dijkstra over an indexed 4-ary heap.
 // Every node enters the heap at most once (improvements are decrease-key
 // sift-ups rather than lazy re-insertions), so the heap slice never grows
-// past N and the whole call allocates nothing. dist and prev must have
-// length N; prev is always filled (the write is one int32 store per edge
-// relaxation, cheaper than a branch).
-func (w *Workspace) run(src int32, length []float64, dist []float64, prev []int32, bannedEdge, bannedNode []bool) {
+// past N and the whole call allocates nothing after the first targeted
+// call sizes the mark vector. dist and prev must have length N; prev is
+// always filled (the write is one int32 store per edge relaxation, cheaper
+// than a branch). A non-nil targets slice ends the run once every listed
+// node has been popped; the heap is drained (pos reset) so the workspace
+// invariant survives the early exit.
+func (w *Workspace) run(src int32, length []float64, dist []float64, prev []int32, bannedEdge, bannedNode []bool, targets []int32) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
 	for i := range prev {
 		prev[i] = -1
+	}
+	remaining := 0
+	if targets != nil {
+		// Epoch stamps make clearing the marks O(1); duplicate targets
+		// count once.
+		w.tepoch++
+		if len(w.tmark) < len(dist) {
+			w.tmark = make([]uint64, len(dist))
+		}
+		for _, t := range targets {
+			if w.tmark[t] != w.tepoch {
+				w.tmark[t] = w.tepoch
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			targets = nil // nothing to wait for: fall back to a full run
+		}
 	}
 	w.key = dist
 	w.heap = w.heap[:0]
@@ -117,6 +162,16 @@ func (w *Workspace) run(src int32, length []float64, dist []float64, prev []int3
 	w.push(src)
 	for len(w.heap) > 0 {
 		v := w.pop()
+		if targets != nil && w.tmark[v] == w.tepoch {
+			remaining--
+			if remaining == 0 {
+				for _, u := range w.heap {
+					w.pos[u] = -1
+				}
+				w.heap = w.heap[:0]
+				return
+			}
+		}
 		dv := dist[v]
 		for _, h := range w.g.adj[v] {
 			if bannedEdge != nil && bannedEdge[h.Edge] {

@@ -152,6 +152,80 @@ func TestWorkspaceDeterministicTree(t *testing.T) {
 	}
 }
 
+// TestWorkspaceDijkstraTargetsMatchesFullRun pins the early-stopped batched
+// oracle against the full kernel: for random target sets, the targets'
+// distances, their shortest-path trees (walked through Prev), and the heap
+// invariant after the early exit must all be bit-identical to a full run.
+func TestWorkspaceDijkstraTargetsMatchesFullRun(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := NewRNG(seed)
+		g, length := randomMultigraph(rng)
+		n := g.N()
+		full := g.NewWorkspace()
+		ws := g.NewWorkspace()
+		src := rng.Intn(n)
+		full.Dijkstra(src, length)
+
+		// Random target set, sometimes with duplicates, sometimes every node.
+		var targets []int32
+		switch seed % 3 {
+		case 0:
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				targets = append(targets, int32(rng.Intn(n)))
+			}
+			targets = append(targets, targets[0]) // duplicate must count once
+		case 1:
+			targets = []int32{int32(rng.Intn(n))}
+		default:
+			for v := 0; v < n; v++ {
+				targets = append(targets, int32(v))
+			}
+		}
+		ws.DijkstraTargets(src, length, targets)
+
+		for _, dst := range targets {
+			if ws.Dist[dst] != full.Dist[dst] { //flatlint:ignore floatcmp the early-stopped run must be bit-identical on settled targets
+				t.Fatalf("seed %d: dist[%d] = %g, full run %g", seed, dst, ws.Dist[dst], full.Dist[dst])
+			}
+			// Walk the tree back to src: every hop must match the full run.
+			for v := dst; int(v) != src && ws.Prev[v] >= 0; {
+				if ws.Prev[v] != full.Prev[v] {
+					t.Fatalf("seed %d: prev[%d] = %d, full run %d", seed, v, ws.Prev[v], full.Prev[v])
+				}
+				v = g.Edge(int(ws.Prev[v])).Other(v)
+			}
+		}
+		// The workspace must be reusable after the early exit: heap empty,
+		// pos reset, and a fresh full Dijkstra must match a clean one.
+		ws.Dijkstra(src, length)
+		for v := 0; v < n; v++ {
+			if ws.Dist[v] != full.Dist[v] || ws.Prev[v] != full.Prev[v] { //flatlint:ignore floatcmp reuse after early exit must be bit-identical
+				t.Fatalf("seed %d: workspace dirty after DijkstraTargets: node %d dist %g/%g prev %d/%d",
+					seed, v, ws.Dist[v], full.Dist[v], ws.Prev[v], full.Prev[v])
+			}
+		}
+	}
+}
+
+// TestWorkspaceDijkstraTargetsUnreachable checks that a target in another
+// component is reported at +Inf rather than hanging or mis-stopping.
+func TestWorkspaceDijkstraTargetsUnreachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4) // separate component
+	g.SortAdjacency()
+	length := []float64{1, 1, 1}
+	ws := g.NewWorkspace()
+	ws.DijkstraTargets(0, length, []int32{2, 3})
+	if ws.Dist[2] != 2 { //flatlint:ignore floatcmp unit lengths sum exactly
+		t.Errorf("dist[2] = %g, want 2", ws.Dist[2])
+	}
+	if !math.IsInf(ws.Dist[3], 1) {
+		t.Errorf("dist[3] = %g, want +Inf (unreachable)", ws.Dist[3])
+	}
+}
+
 // TestWorkspaceShortestPathMatchesGraphAPI pins the convenience wrappers to
 // the workspace kernel.
 func TestWorkspaceShortestPathMatchesGraphAPI(t *testing.T) {

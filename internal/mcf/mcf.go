@@ -64,7 +64,11 @@ type Result struct {
 	// UpperBound is an LP-dual certificate: no feasible solution exceeds
 	// it. +Inf when not computed.
 	UpperBound float64
-	// Phases and Dijkstras count solver work.
+	// Phases counts *completed* phases: full passes over every source in
+	// which each commodity shipped one round of its demand. A solve cut
+	// short by TimeBudget or a mid-phase convergence break does not count
+	// the partial phase. Dijkstras counts every shortest-path pass the
+	// solve ran, including the demand-scaling probe's.
 	Phases    int
 	Dijkstras int
 	// Approximate reports that the solver stopped on a budget (TimeBudget
@@ -73,6 +77,10 @@ type Result struct {
 	// might be; the flag only says the usual (1-ε)-optimality promise no
 	// longer applies.
 	Approximate bool
+	// WarmStarted reports that the solve was seeded with the previous
+	// instance's edge-length function (Solver only). The ε contract is
+	// unchanged: Lambda is feasible and DualGap remains a true certificate.
+	WarmStarted bool
 }
 
 // DualGap returns UpperBound/Lambda - 1, the proven relative optimality
@@ -299,11 +307,33 @@ func resized(s []float64, n int) []float64 {
 // MaxConcurrentFlow runs the FPTAS. All commodity endpoints must be
 // connected; disconnected pairs yield an error.
 //
-// The context is checked between shortest-path iterations: cancellation
-// aborts the solve and returns ctx.Err(). Options.TimeBudget instead ends
-// the phase loop early with the best feasible λ found so far (flagged
-// Approximate).
+// The context is checked between shortest-path iterations (including the
+// demand-scaling probe's): cancellation aborts the solve and returns
+// ctx.Err(). Options.TimeBudget instead ends the phase loop early with the
+// best feasible λ found so far (flagged Approximate).
+//
+// Every call solves cold. Repeated solves over near-identical instances
+// should hold a Solver, which warm-starts the length function from the
+// previous solve.
 func MaxConcurrentFlow(ctx context.Context, nw *topo.Network, commodities []Commodity, opt Options) (Result, error) {
+	st := getState()
+	defer putState(st)
+	return st.solve(ctx, nw, commodities, opt, nil)
+}
+
+// solve runs one FPTAS solve on st. A non-nil warm is consumed to seed the
+// length function (when usable) and refreshed with the final lengths on
+// success; any error leaves it invalidated, because an aborted solve has no
+// trustworthy length function to hand forward.
+func (st *solveState) solve(ctx context.Context, nw *topo.Network, commodities []Commodity, opt Options, warm *warmState) (Result, error) {
+	res, err := st.fptas(ctx, nw, commodities, opt, warm)
+	if warm != nil && err != nil {
+		warm.valid = false
+	}
+	return res, err
+}
+
+func (st *solveState) fptas(ctx context.Context, nw *topo.Network, commodities []Commodity, opt Options, warm *warmState) (Result, error) {
 	if opt.Epsilon <= 0 {
 		opt.Epsilon = 0.08
 	}
@@ -313,8 +343,6 @@ func MaxConcurrentFlow(ctx context.Context, nw *topo.Network, commodities []Comm
 	if opt.MaxPhases <= 0 {
 		opt.MaxPhases = 1 << 20
 	}
-	st := getState()
-	defer putState(st)
 	pr := &st.pr
 	if err := aggregate(nw, commodities, pr); err != nil {
 		return Result{}, err
@@ -325,30 +353,56 @@ func MaxConcurrentFlow(ctx context.Context, nw *topo.Network, commodities []Comm
 
 	ar := &st.ar
 	ar.bind(pr)
+	res := Result{UpperBound: math.Inf(1)}
 
-	// Demand pre-scaling: the Garg-Könemann phase count is ~OPT·log(m)/ε²,
-	// so an instance with tiny OPT (e.g. one hot spot against a whole
-	// fabric) would stop after a fraction of a phase, quantizing λ badly
-	// and leaving late sources unrouted. A one-sweep shortest-path load
-	// probe estimates OPT within the path-stretch factor; scaling demands
-	// by it normalizes OPT to Θ(1).
-	lambdaHat := pr.probeScale(ar)
+	eps := opt.Epsilon
+	warmOK := warm != nil && warm.usable(pr, eps)
+	if warm != nil {
+		// Fingerprint the commodities before normalization rescales the
+		// demands in place; capture promotes it if the solve succeeds.
+		warm.snapshot(pr)
+	}
+
+	// Demand pre-scaling: the Garg-Könemann phase count is ~OPT·log(m)/ε²
+	// *after* normalization, so an instance with tiny OPT (e.g. one hot
+	// spot against a whole fabric) would stop after a fraction of a phase,
+	// quantizing λ badly and leaving late sources unrouted. A one-sweep
+	// shortest-path load probe estimates OPT within the path-stretch
+	// factor; scaling demands by it normalizes OPT to Θ(1). A warm start
+	// does better: the previous solve's λ estimates this instance's OPT
+	// within the (small) topology drift plus the ε gap — no stretch
+	// inflation — so normalized OPT lands at ~1 and the phase count drops
+	// by the stretch factor. Either normalizer is just a change of units,
+	// undone when λ is scaled back at the end, so this affects work and λ
+	// quantization granularity, never correctness.
+	var lambdaHat float64
+	if warmOK && warm.lambda > 0 {
+		lambdaHat = warm.lambda
+	} else {
+		var err error
+		if lambdaHat, err = pr.probeScale(ctx, ar, &res); err != nil {
+			return Result{}, err
+		}
+	}
 	for i := range pr.comms {
 		pr.comms[i].demand *= lambdaHat
 	}
 
-	eps := opt.Epsilon
 	m := pr.g.M()
 	delta := (1 + eps) * math.Pow((1+eps)*float64(m), -1/eps)
 	length := ar.length
 	sumLC := 0.0 // D(l) = sum_e length_e * cap_e
-	for e := 0; e < m; e++ {
-		length[e] = delta / pr.cap[e]
-		sumLC += length[e] * pr.cap[e]
+	if warmOK {
+		sumLC = warm.seed(pr, length, delta, eps)
+		res.WarmStarted = true
+	} else {
+		for e := 0; e < m; e++ {
+			length[e] = delta / pr.cap[e]
+			sumLC += length[e] * pr.cap[e]
+		}
 	}
 
 	routed := ar.routed
-	res := Result{UpperBound: math.Inf(1)}
 	var deadline time.Time
 	if opt.TimeBudget > 0 {
 		deadline = time.Now().Add(opt.TimeBudget) //flatlint:ignore clockwall TimeBudget is an explicit wall-clock cap; it bounds work, never the answer for a converged run
@@ -357,7 +411,6 @@ func MaxConcurrentFlow(ctx context.Context, nw *topo.Network, commodities []Comm
 
 phases:
 	for phase := 1; phase <= opt.MaxPhases; phase++ {
-		res.Phases = phase
 		dualAlpha := 0.0
 		for si, src := range pr.srcs {
 			comms := pr.commsOf(si)
@@ -380,7 +433,11 @@ phases:
 					converged = true
 					break phases
 				}
-				ar.ws.Dijkstra(int(src), length)
+				// Batched oracle: one pass serves every remaining commodity
+				// of the source and stops once all of them have settled.
+				// Settled results are bit-identical to a full Dijkstra, so
+				// the early stop is pure savings.
+				ar.ws.DijkstraTargets(int(src), length, ar.active)
 				res.Dijkstras++
 				dist, prev := ar.ws.Dist, ar.ws.Prev
 				if firstIteration && !opt.SkipDualBound {
@@ -437,6 +494,9 @@ phases:
 				}
 			}
 		}
+		// Count the phase only now that every source completed it: a budget
+		// or convergence break above leaves the partial phase uncounted.
+		res.Phases = phase
 		if !opt.SkipDualBound && dualAlpha > 0 {
 			// Weak duality: OPT <= D(l)/alpha(l). alpha was measured at
 			// phase start; D only grows during the phase, so the
@@ -465,6 +525,9 @@ phases:
 	if !math.IsInf(res.UpperBound, 1) {
 		res.UpperBound *= lambdaHat
 	}
+	if warm != nil {
+		warm.capture(pr, length, eps, res.Lambda)
+	}
 	return res, nil
 }
 
@@ -483,17 +546,31 @@ func minRouted(pr *problem, routed []float64) float64 {
 // returns 1/(max edge load): a constant-factor estimate of the optimal
 // concurrent throughput used only for demand normalization, never for
 // results. It borrows the solve arena's workspace and per-edge scratch:
-// ar.req doubles as the load accumulator and is handed back zeroed, and
-// ar.length holds the unit lengths — the caller reinitializes it to the
-// FPTAS length function right after the probe, so nothing leaks.
-func (p *problem) probeScale(ar *arena) float64 {
+// ar.req doubles as the load accumulator and is handed back zeroed (on
+// success; an aborted probe leaves it dirty, which is safe because bind
+// re-zeroes it before the next solve), ar.length holds the unit lengths —
+// the caller reinitializes it to the FPTAS length function right after the
+// probe — and ar.active stages each source's target list.
+//
+// The context is checked once per source so cancellation stays responsive
+// on large instances, and every pass is counted in res.Dijkstras: the probe
+// is real solver work and the accounting must say so.
+func (p *problem) probeScale(ctx context.Context, ar *arena, res *Result) (float64, error) {
 	unit := ar.length
 	for i := range unit {
 		unit[i] = 1
 	}
 	load := ar.req
 	for si, src := range p.srcs {
-		ar.ws.Dijkstra(int(src), unit)
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		ar.active = ar.active[:0]
+		for _, c := range p.commsOf(si) {
+			ar.active = append(ar.active, c.dst)
+		}
+		ar.ws.DijkstraTargets(int(src), unit, ar.active)
+		res.Dijkstras++
 		dist, prev := ar.ws.Dist, ar.ws.Prev
 		for _, c := range p.commsOf(si) {
 			if math.IsInf(dist[c.dst], 1) {
@@ -514,9 +591,9 @@ func (p *problem) probeScale(ar *arena) float64 {
 		load[e] = 0
 	}
 	if maxLoad == 0 { //flatlint:ignore floatcmp exactly 0 iff no edge carries any flow; guards the division below
-		return 1
+		return 1, nil
 	}
-	return 1 / maxLoad
+	return 1 / maxLoad, nil
 }
 
 // MaxConcurrentFlowExact solves the instance exactly with the edge-based LP

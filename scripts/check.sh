@@ -14,10 +14,13 @@
 #
 # Every step must pass; the first failure stops the run.
 #
-# check.sh verifies correctness only. Performance is tracked separately by
-# ./scripts/bench.sh, which runs the solver microbenchmarks and refreshes
-# the BENCH_mcf.json baseline; run it when touching internal/graph or
-# internal/mcf hot paths and compare against the checked-in numbers.
+# check.sh verifies correctness only. Performance is gated separately:
+# ./scripts/bench.sh --check is the pre-merge perf gate — it reruns the
+# solver benchmarks (AblationEpsilon, SolverSequence, Fleischer) and exits
+# non-zero on a >15% ns/op regression against the checked-in BENCH_mcf.json.
+# Run it when touching internal/graph or internal/mcf hot paths; a justified
+# regression is recorded by regenerating the baseline (./scripts/bench.sh)
+# in the same PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
