@@ -16,11 +16,13 @@
 // drop history.
 //
 // Check mode compares the fresh run against the checked-in current
-// numbers and exits non-zero on a >15% ns/op regression in any solver
+// numbers and exits non-zero on a solver ns/op regression beyond the
+// tolerance (default 15%, configurable with -tolerance) in any solver
 // benchmark (BenchmarkAblationEpsilon, BenchmarkFleischer,
-// BenchmarkSolverSequence):
+// BenchmarkSolverSequence, BenchmarkSolverCrossK):
 //
 //	benchjson -bench raw.txt -in BENCH_mcf.json -check
+//	benchjson -bench raw.txt -in BENCH_mcf.json -check -tolerance 0.25
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -41,57 +44,66 @@ var solverPrefixes = []string{
 	"BenchmarkAblationEpsilon",
 	"BenchmarkFleischer",
 	"BenchmarkSolverSequence",
+	"BenchmarkSolverCrossK",
 }
 
-// regressionLimit is the relative ns/op increase -check tolerates before
-// failing; iteration-pinned benchtimes keep run-to-run noise well under it.
-const regressionLimit = 0.15
-
 func main() {
-	benchPath := flag.String("bench", "", "raw `go test -bench` output file (required)")
-	inPath := flag.String("in", "BENCH_mcf.json", "checked-in baseline JSON to carry frozen sections from / check against")
-	outPath := flag.String("out", "", "output file for render mode (default: stdout)")
-	check := flag.Bool("check", false, "compare the fresh run against -in instead of rendering; exit 1 on >15% solver ns/op regression")
-	benchtime := flag.String("benchtime", "", "solver benchtime label recorded in the output")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its exits and streams injected, so tests can drive flag
+// parsing and the error paths without a subprocess.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	benchPath := fs.String("bench", "", "raw `go test -bench` output file (required)")
+	inPath := fs.String("in", "BENCH_mcf.json", "checked-in baseline JSON to carry frozen sections from / check against")
+	outPath := fs.String("out", "", "output file for render mode (default: stdout)")
+	check := fs.Bool("check", false, "compare the fresh run against -in instead of rendering; exit 1 on a solver ns/op regression beyond -tolerance")
+	tolerance := fs.Float64("tolerance", 0.15, "relative ns/op increase -check tolerates before failing")
+	benchtime := fs.String("benchtime", "", "solver benchtime label recorded in the output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *benchPath == "" {
-		fail("missing -bench: raw benchmark output is required")
+		return fmt.Errorf("missing -bench: raw benchmark output is required")
+	}
+	if *tolerance <= 0 || *tolerance >= 10 {
+		return fmt.Errorf("-tolerance %g out of (0,10): it is a relative increase, not a percentage", *tolerance)
 	}
 	results, err := parseBench(*benchPath)
 	if err != nil {
-		fail("parsing %s: %v", *benchPath, err)
+		return fmt.Errorf("parsing %s: %w", *benchPath, err)
 	}
 	if len(results) == 0 {
-		fail("%s contains no Benchmark result lines", *benchPath)
+		return fmt.Errorf("%s contains no Benchmark result lines", *benchPath)
 	}
 	base, err := loadBaseline(*inPath)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	if *check {
-		if err := checkRegressions(results, base); err != nil {
-			fail("%v", err)
+		if err := checkRegressions(results, base, *tolerance); err != nil {
+			return err
 		}
-		fmt.Printf("benchjson: no solver regression beyond %d%% vs %s\n", int(regressionLimit*100), *inPath)
-		return
+		fmt.Fprintf(stdout, "benchjson: no solver regression beyond %.0f%% vs %s\n", *tolerance*100, *inPath)
+		return nil
 	}
 	out, err := render(results, base, *benchtime)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	if *outPath == "" {
-		fmt.Print(out)
-		return
+		fmt.Fprint(stdout, out)
+		return nil
 	}
 	if err := os.WriteFile(*outPath, []byte(out), 0o644); err != nil {
-		fail("%v", err)
+		return err
 	}
-	fmt.Printf("benchjson: wrote %s\n", *outPath)
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Fprintf(stdout, "benchjson: wrote %s\n", *outPath)
+	return nil
 }
 
 // metric is one benchmark's parsed measurements, keyed by normalized unit
@@ -230,8 +242,8 @@ func quote(s string) string {
 }
 
 // checkRegressions compares fresh solver ns/op against the checked-in
-// current section and errors on any relative increase beyond the limit.
-func checkRegressions(fresh map[string]metric, base map[string]json.RawMessage) error {
+// current section and errors on any relative increase beyond the tolerance.
+func checkRegressions(fresh map[string]metric, base map[string]json.RawMessage, tolerance float64) error {
 	var current struct {
 		Results map[string]map[string]float64 `json:"results"`
 	}
@@ -268,7 +280,7 @@ func checkRegressions(fresh map[string]metric, base map[string]json.RawMessage) 
 		}
 		now := m.values["ns_op"]
 		compared++
-		if rel := now/was - 1; rel > regressionLimit {
+		if rel := now/was - 1; rel > tolerance {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.0f -> %.0f ns/op (+%.0f%%)", name, was, now, rel*100))
 		}
@@ -277,8 +289,8 @@ func checkRegressions(fresh map[string]metric, base map[string]json.RawMessage) 
 		return fmt.Errorf("no solver benchmarks overlap between the fresh run and the checked-in baseline; nothing was checked")
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("solver ns/op regressions beyond %d%%:\n  %s",
-			int(regressionLimit*100), strings.Join(regressions, "\n  "))
+		return fmt.Errorf("solver ns/op regressions beyond %.0f%%:\n  %s",
+			tolerance*100, strings.Join(regressions, "\n  "))
 	}
 	return nil
 }

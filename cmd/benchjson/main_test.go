@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile drops content into the test's temp dir and returns its path.
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchRaw = `goos: linux
+BenchmarkSolverSequence/cold-8     3  1000000 ns/op  5.0 dijkstras
+BenchmarkSolverSequence/warm-8     3   400000 ns/op  5.0 dijkstras
+BenchmarkSolverCrossK/warm-8       3   300000 ns/op
+PASS
+`
+
+const baselineJSON = `{
+  "baseline_v1": {"note": "frozen"},
+  "benchmarks": {"results": {
+    "BenchmarkSolverSequence/cold": {"iterations": 3, "ns_op": 1000000},
+    "BenchmarkSolverSequence/warm": {"iterations": 3, "ns_op": 300000},
+    "BenchmarkSolverCrossK/warm": {"iterations": 3, "ns_op": 290000}
+  }}
+}`
+
+// TestRunCheckTolerance pins the -tolerance flag: the fresh warm sequence
+// number is 33% over its baseline, so the default 15% gate fails, a loose
+// 50% gate passes, and out-of-domain tolerances are rejected at parse time.
+func TestRunCheckTolerance(t *testing.T) {
+	dir := t.TempDir()
+	bench := writeFile(t, dir, "raw.txt", benchRaw)
+	in := writeFile(t, dir, "base.json", baselineJSON)
+
+	err := run([]string{"-bench", bench, "-in", in, "-check"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkSolverSequence/warm") {
+		t.Fatalf("default tolerance: got %v, want a warm-sequence regression", err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-bench", bench, "-in", in, "-check", "-tolerance", "0.5"}, &out); err != nil {
+		t.Fatalf("tolerance 0.5: %v", err)
+	}
+	if !strings.Contains(out.String(), "no solver regression beyond 50%") {
+		t.Errorf("tolerance 0.5 output %q does not name the gate", out.String())
+	}
+	for _, bad := range []string{"0", "-0.2", "10"} {
+		if err := run([]string{"-bench", bench, "-in", in, "-check", "-tolerance", bad}, &out); err == nil {
+			t.Errorf("-tolerance %s accepted, want domain error", bad)
+		}
+	}
+}
+
+// TestRunBaselineErrors pins the carry-forward error paths: a missing
+// checked-in baseline and one without frozen sections must both refuse to
+// continue (regenerating would silently drop the perf history).
+func TestRunBaselineErrors(t *testing.T) {
+	dir := t.TempDir()
+	bench := writeFile(t, dir, "raw.txt", benchRaw)
+
+	err := run([]string{"-bench", bench, "-in", filepath.Join(dir, "absent.json")}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "unreadable") {
+		t.Errorf("missing baseline: got %v, want unreadable error", err)
+	}
+	noFrozen := writeFile(t, dir, "nofrozen.json", `{"benchmarks": {"results": {}}}`)
+	err = run([]string{"-bench", bench, "-in", noFrozen}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Errorf("frozen-less baseline: got %v, want frozen-section error", err)
+	}
+	if err := run([]string{"-in", noFrozen}, &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "-bench") {
+		t.Errorf("missing -bench: got %v, want usage error", err)
+	}
+}
+
+// TestRunRenderCarriesFrozenSections checks render mode end to end: frozen
+// sections survive verbatim-ish (re-indented), fresh results replace the
+// current section, and the GOMAXPROCS suffix is stripped.
+func TestRunRenderCarriesFrozenSections(t *testing.T) {
+	dir := t.TempDir()
+	bench := writeFile(t, dir, "raw.txt", benchRaw)
+	in := writeFile(t, dir, "base.json", baselineJSON)
+	var out strings.Builder
+	if err := run([]string{"-bench", bench, "-in", in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{`"baseline_v1"`, `"note": "frozen"`, `"BenchmarkSolverCrossK/warm"`, `"ns_op": 300000`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("rendered output lacks %s:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "warm-8") {
+		t.Error("GOMAXPROCS suffix not stripped from benchmark names")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"flattree/internal/fattree"
 	"flattree/internal/faults"
 	"flattree/internal/jellyfish"
+	"flattree/internal/mcf"
 	"flattree/internal/topo"
 	"flattree/internal/twostage"
 )
@@ -66,6 +67,7 @@ func main() {
 		convFrac   = flag.Float64("convfrac", 0, "faultsrecovery: fraction of converter blocks that die (pinning their links)")
 
 		solveBudget = flag.Duration("solvebudget", 0, "wall-clock budget per MCF solve; budget-limited cells carry a trailing ~ (0 = unbounded)")
+		ssspKern    = flag.String("sssp", "auto", "shortest-path kernel inside MCF solves: auto|heap|delta (identical output, different speed)")
 		failFrac    = flag.Float64("failfrac", 0.25, "selfheal: fraction of pod agents killed mid-run")
 		batch       = flag.Int("batch", 1, "selfheal: pods re-aimed per dark window")
 	)
@@ -126,6 +128,11 @@ func main() {
 	if *eps <= 0 || *eps >= 0.5 {
 		badFlag("-eps %g out of (0,0.5)", *eps)
 	}
+	kern, ok := mcf.ParseSSSPKernel(*ssspKern)
+	if !ok {
+		badFlag("-sssp %q is not auto, heap, or delta", *ssspKern)
+	}
+	cfg.SSSP = kern
 
 	// Ctrl-C / SIGTERM and -timeout cancel the experiment context; drivers
 	// stop handing out cells promptly and return the context's error.
@@ -172,6 +179,26 @@ func main() {
 
 	var run func(string)
 	run = func(name string) {
+		// One warm-start summary line per experiment (stderr, so piped TSV
+		// stays clean): how many MCF solves reused a previous solve's length
+		// function, and why the cold ones didn't. The counters are process-
+		// wide totals, so diff around the experiment; "all" recurses and
+		// lets each child report itself.
+		before := mcf.ReadWarmStats()
+		defer func() {
+			if name == "all" {
+				return
+			}
+			after := mcf.ReadWarmStats()
+			hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
+			if solves := hits + misses; solves > 0 {
+				fmt.Fprintf(os.Stderr,
+					"flatsim: %s: %d/%d MCF solves warm-started (%.0f%%); cold: %d first-solve, %d eps-mismatch, %d low-overlap, %d overshoot-retry\n",
+					name, hits, solves, 100*float64(hits)/float64(solves),
+					after.FirstSolve-before.FirstSolve, after.Epsilon-before.Epsilon,
+					after.Overlap-before.Overlap, after.ColdRetry-before.ColdRetry)
+			}
+		}()
 		switch name {
 		case "fig5":
 			t, err := experiments.Fig5(ctx, cfg)

@@ -17,7 +17,7 @@ import (
 // solve maximum concurrent flow on the caller's Solver (which carries the
 // aggregated problem, arena, and warm-start state across a sweep's solves).
 func throughput(ctx context.Context, s *mcf.Solver, nw *topo.Network, serverIDs []int, clusterSize int, placement traffic.Placement,
-	pattern func([]traffic.Cluster) []mcf.Commodity, seed uint64, epsilon float64, budget time.Duration) (mcf.Result, error) {
+	pattern func([]traffic.Cluster) []mcf.Commodity, seed uint64, epsilon float64, budget time.Duration, kern mcf.SSSPKernel) (mcf.Result, error) {
 	clusters, err := traffic.MakeClusters(nw, serverIDs, traffic.Spec{
 		ClusterSize: clusterSize,
 		Placement:   placement,
@@ -26,7 +26,7 @@ func throughput(ctx context.Context, s *mcf.Solver, nw *topo.Network, serverIDs 
 	if err != nil {
 		return mcf.Result{}, err
 	}
-	return s.Solve(ctx, nw, pattern(clusters), mcf.Options{Epsilon: epsilon, TimeBudget: budget})
+	return s.Solve(ctx, nw, pattern(clusters), mcf.Options{Epsilon: epsilon, TimeBudget: budget, SSSP: kern})
 }
 
 // BroadcastClusterSize is the paper's hot-spot cluster size (§3.3).
@@ -51,12 +51,14 @@ func allToAllPattern(cl []traffic.Cluster) []mcf.Commodity {
 // Trials-averaged max concurrent flow of every (topology, placement) column.
 // The work items are the (column, trial) pairs; each owns one pooled
 // mcf.Solver and walks the adjacent-k solves in sweep order, so the
-// solver's aggregated problem and arena amortize across the whole column.
-// (Different k means a different switch set, so these chained solves run
-// cold by the warm-start gate — the figures stay bit-identical to
-// independent solves.) Items run concurrently through the worker pool and
-// the trial averages are reduced in trial order, so the table is
-// byte-identical for every Parallelism setting.
+// solver's aggregated problem, arena, and warm-start state amortize across
+// the whole column: switches of a k-instance keep their (kind, pod, index)
+// coordinates in the (k+step)-instance, so the relaxed gate maps the
+// captured edge lengths across and warm-starts each hop of the column
+// (cross-k seeding). Each warm λ stays inside the same ε contract as a
+// cold solve, and the chain lives entirely inside one work item, so the
+// table is a pure function of (column, trial) — byte-identical for every
+// Parallelism setting.
 func throughputFigure(ctx context.Context, cfg Config, fig string, t *Table, mode core.Mode, withTwoStage bool,
 	clusterSize int, placements []traffic.Placement,
 	pattern func([]traffic.Cluster) []mcf.Commodity,
@@ -91,7 +93,7 @@ func throughputFigure(ctx context.Context, cfg Config, fig string, t *Table, mod
 		for ki := range ks {
 			nw := netsOf(suites[ki])[ci/numPl]
 			res, err := throughput(ctx, s, nw, serverIDsOf(nw), clusterSize, placements[ci%numPl],
-				pattern, seeds.Seed(uint64(tr)), cfg.Epsilon, cfg.SolveBudget)
+				pattern, seeds.Seed(uint64(tr)), cfg.Epsilon, cfg.SolveBudget, cfg.SSSP)
 			if err != nil {
 				return nil, fmt.Errorf("%s k=%d net=%d trial=%d: %w", fig, ks[ki], ci/numPl, tr, err)
 			}

@@ -39,11 +39,12 @@ type HybridRow struct {
 // proportions' cluster builds and MCF solves (three LPs each) then fan out
 // through the worker pool and are merged back in proportion order. Each
 // proportion owns one pooled mcf.Solver, amortizing the aggregated problem
-// and arena across its three solves. The three demand sets (zoneG, zoneL,
-// joint) are disjoint, so the warm-start gate keeps every solve cold — λ
-// captured from one zone would mis-normalize the next by the ratio of
-// their throughputs — and the table is bit-identical to independent
-// solves at every worker count.
+// and arena across its three solves, with an explicit Reset between them:
+// the relaxed warm gate admits any demand set whose sources overlap the
+// capture, and the joint demand set contains both zones' sources, so
+// without the Reset it would inherit one zone's λ — a normalizer off by
+// the ratio of the zones' throughputs. Resetting keeps every solve cold
+// and the table bit-identical to independent solves at every worker count.
 func Hybrid(ctx context.Context, cfg Config) (*Table, []HybridRow, error) {
 	k := cfg.HybridK
 	if k == 0 {
@@ -124,11 +125,12 @@ func Hybrid(ctx context.Context, cfg Config) (*Table, []HybridRow, error) {
 		gComms := broadcastPattern(gcl)
 		lComms := allToAllPattern(lcl)
 
-		resG, err := s.Solve(ctx, nw, gComms, mcf.Options{Epsilon: cfg.Epsilon})
+		resG, err := s.Solve(ctx, nw, gComms, mcf.Options{Epsilon: cfg.Epsilon, SSSP: cfg.SSSP})
 		if err != nil {
 			return HybridRow{}, err
 		}
-		resL, err := s.Solve(ctx, nw, lComms, mcf.Options{Epsilon: cfg.Epsilon})
+		s.Reset()
+		resL, err := s.Solve(ctx, nw, lComms, mcf.Options{Epsilon: cfg.Epsilon, SSSP: cfg.SSSP})
 		if err != nil {
 			return HybridRow{}, err
 		}
@@ -144,7 +146,8 @@ func Hybrid(ctx context.Context, cfg Config) (*Table, []HybridRow, error) {
 		for _, c := range lComms {
 			joint = append(joint, mcf.Commodity{Src: c.Src, Dst: c.Dst, Demand: c.Demand * resL.Lambda})
 		}
-		resJ, err := s.Solve(ctx, nw, joint, mcf.Options{Epsilon: cfg.Epsilon})
+		s.Reset()
+		resJ, err := s.Solve(ctx, nw, joint, mcf.Options{Epsilon: cfg.Epsilon, SSSP: cfg.SSSP})
 		if err != nil {
 			return HybridRow{}, err
 		}
@@ -179,7 +182,7 @@ func completeRef(ctx context.Context, ft *core.FlatTree, mode core.Mode, cluster
 	nw := ft.Net()
 	s := mcf.GetSolver()
 	defer s.Release()
-	res, err := throughput(ctx, s, nw, serverIDsOf(nw), clusterSize, traffic.Locality, pattern, cfg.Seed, cfg.Epsilon, cfg.SolveBudget)
+	res, err := throughput(ctx, s, nw, serverIDsOf(nw), clusterSize, traffic.Locality, pattern, cfg.Seed, cfg.Epsilon, cfg.SolveBudget, cfg.SSSP)
 	if err != nil {
 		return 0, err
 	}

@@ -37,12 +37,14 @@ type healStage struct {
 // workers, reducing in index order — so the table is byte-identical at
 // every worker count. Each trial owns one pooled mcf.Solver and walks its
 // trajectory in stage order: consecutive stages are link-level deltas of
-// the same fabric, so a solve warm-starts from the previous stage whenever
-// the measured commodity set carries over (the permutation is re-drawn
-// over the largest component's servers, so stages where that component
-// shifts — e.g. entering the first dark window — run cold by the gate).
-// Grouping by trial (not by cell) is what keeps the warm chain a pure
-// function of the trial, independent of scheduling. λ is the max concurrent flow of a seeded permutation
+// the same fabric, so a solve warm-starts from the previous stage. The
+// permutation is re-drawn over the largest component's servers when that
+// component shifts (e.g. entering the first dark window), but the relaxed
+// gate still admits the re-draw as long as the surviving sources overlap
+// the captured ones, rescaling the previous λ by the aggregate-demand
+// ratio; only a wholesale source change runs cold. Grouping by trial (not
+// by cell) is what keeps the warm chain a pure function of the trial,
+// independent of scheduling. λ is the max concurrent flow of a seeded permutation
 // workload over the largest connected component's servers (dark windows
 // detach some servers; they are down, not partitioned, and the surviving
 // fabric's throughput is the quantity of interest).
@@ -113,7 +115,7 @@ func SelfHeal(ctx context.Context, cfg Config, k int, failFrac float64, batchSiz
 			comms := componentCommodities(nw, seeds.Seed(1<<32|uint64(tr)))
 			if len(comms) > 0 {
 				res, err := s.Solve(ctx, nw, comms, mcf.Options{
-					Epsilon: cfg.Epsilon, SkipDualBound: true, TimeBudget: cfg.SolveBudget})
+					Epsilon: cfg.Epsilon, SkipDualBound: true, TimeBudget: cfg.SolveBudget, SSSP: cfg.SSSP})
 				if err != nil {
 					return nil, fmt.Errorf("selfheal %s trial=%d: %w", name, tr, err)
 				}

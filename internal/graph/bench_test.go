@@ -61,6 +61,33 @@ func BenchmarkDijkstraK32Scale(b *testing.B) {
 	}
 }
 
+func BenchmarkDeltaStep(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := regular(b, n, 8, 1)
+			length := g.UnitLengths()
+			ws := g.NewWorkspace()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ws.DeltaStep(i%n, length)
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaStepK32Scale is BenchmarkDijkstraK32Scale on the bucket
+// kernel — the head-to-head at the paper's largest switch count.
+func BenchmarkDeltaStepK32Scale(b *testing.B) {
+	const n, d = 1280, 16
+	g := regular(b, n, d, 1)
+	length := g.UnitLengths()
+	ws := g.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.DeltaStep(i%n, length)
+	}
+}
+
 func BenchmarkKShortestPaths(b *testing.B) {
 	g := regular(b, 256, 8, 1)
 	length := g.UnitLengths()

@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math"
+	"slices"
+)
+
+// Delta-stepping SSSP: a bucket-queue kernel that replaces the 4-ary heap's
+// O(log n) pops and decrease-key sift-ups with O(1) bucket moves. Nodes are
+// binned by floor(dist/Δ) into a circular array of buckets and the frontier
+// advances bucket by bucket.
+//
+// Determinism is the load-bearing property. Δ is fixed at the minimum edge
+// length, which freezes the active bucket: a relaxation out of a node in
+// bucket cur lands at nd = dv + l ≥ cur·Δ + Δ, i.e. in a strictly later
+// bucket, so by the time a bucket becomes current its membership and
+// distances are final. Sorting it once by (dist, node-id) and settling in
+// that order therefore reproduces the heap kernel's (key, id) pop order
+// exactly — equal distances always share a bucket (same floor), every
+// earlier bucket is empty, and every later bucket holds strictly larger
+// distances. Both kernels then relax each adjacency list in the same order
+// under the same `nd < dist` predicate, so the full sequence of Dist/Prev
+// writes — and every λ table the FPTAS derives from them — is bit-identical
+// to Dijkstra/DijkstraTargets. The bucket width is purely a performance
+// knob, never a correctness one.
+//
+// The frozen-bucket argument needs strictly positive lengths (a zero-length
+// edge re-enters the current bucket) and a bucket count within the arena
+// cap (maxLen/Δ slots). Length functions outside that envelope — any zero
+// length, or max/min spread beyond deltaMaxBuckets — delegate to the heap
+// kernel, which is invisible to callers because the results are
+// bit-identical either way. The FPTAS is the intended caller and sits well
+// inside the envelope: its warm-started lengths are δ/cap_e times a ratio
+// clamped into [1, ((1+ε)m)^¼] (see mcf's warm seeding), so the spread is
+// small by construction, while late-phase length functions whose used edges
+// have grown far above the floor fall back seamlessly.
+const (
+	// deltaMaxBuckets caps the circular bucket array; length spreads that
+	// would need more slots than this run on the heap instead.
+	deltaMaxBuckets = 1024
+)
+
+// DeltaStep computes shortest distances from src under per-edge lengths
+// (which must be non-negative) into w.Dist and w.Prev, exactly like
+// Dijkstra — same results bit for bit — via the bucket queue.
+func (w *Workspace) DeltaStep(src int, length []float64) {
+	w.runDelta(int32(src), length, nil)
+}
+
+// DeltaStepTargets is DeltaStep with DijkstraTargets' early exit: the run
+// stops once every listed target has settled. Settled results, and in fact
+// the entire tentative Dist/Prev state at the stop point, are bit-identical
+// to DijkstraTargets' (both kernels settle nodes in the same (dist, id)
+// order and relax edges in the same adjacency order).
+func (w *Workspace) DeltaStepTargets(src int, length []float64, targets []int32) {
+	w.runDelta(int32(src), length, targets)
+}
+
+func (w *Workspace) runDelta(src int32, length []float64, targets []int32) {
+	minPos, maxLen := math.Inf(1), 0.0
+	positive := true
+	for _, l := range length {
+		if l > maxLen {
+			maxLen = l
+		}
+		if l > 0 {
+			if l < minPos {
+				minPos = l
+			}
+		} else {
+			positive = false
+		}
+	}
+	if !positive || maxLen > minPos*float64(deltaMaxBuckets-3) {
+		// Outside the bucket envelope; same results on the heap.
+		w.run(src, length, w.Dist, w.Prev, nil, nil, targets)
+		return
+	}
+	delta := minPos // may be +Inf on an edgeless graph: one bucket, no relaxations
+	// Queued distances live in [curΔ, (cur+1)Δ + maxLen), so
+	// floor(maxLen/Δ)+3 circular slots always cover the live window.
+	nb := int(maxLen/delta) + 3
+
+	dist, prev := w.Dist, w.Prev
+	targets, remaining := w.prepare(dist, prev, targets)
+	if len(w.bnum) < len(dist) {
+		w.bnum = make([]int32, len(dist))
+		w.bpos = make([]int32, len(dist))
+		for i := range w.bnum {
+			w.bnum[i] = -1
+		}
+	}
+	for len(w.bkt) < nb {
+		w.bkt = append(w.bkt, nil)
+	}
+
+	dist[src] = 0
+	w.bput(src, 0, nb)
+	for queued, cur := 1, 0; queued > 0; cur++ {
+		slot := cur % nb
+		if len(w.bkt[slot]) == 0 {
+			continue
+		}
+		// Settle the current bucket in (dist, id) order. Because bucketing
+		// by floor(dist/Δ) is monotone in dist (float division by a positive
+		// constant is monotone), every other bucket holds strictly larger
+		// distances, so the bucket-local order is exactly the heap kernel's
+		// global pop order. With Δ ≤ every edge length a relaxation out of
+		// this bucket lands in a strictly later one in exact arithmetic, so
+		// one up-front sort normally suffices; division rounding can land an
+		// update back in the current bucket (dirty), in which case the
+		// unsettled tail — stale order and appended nodes alike — is
+		// re-sorted before the next pop.
+		dirty := true
+		for i := 0; i < len(w.bkt[slot]); i++ {
+			if dirty {
+				slices.SortFunc(w.bkt[slot][i:], func(x, y int32) int {
+					if dist[x] != dist[y] { //flatlint:ignore floatcmp exact equality picks the id tie-break branch; either branch is correct
+						if dist[x] < dist[y] {
+							return -1
+						}
+						return 1
+					}
+					return int(x - y)
+				})
+				dirty = false
+			}
+			v := w.bkt[slot][i]
+			w.bnum[v] = -1
+			queued--
+			if targets != nil && w.tmark[v] == w.tepoch {
+				remaining--
+				if remaining == 0 {
+					// Early exit: empty every bucket so the workspace
+					// invariant (all buckets empty, bnum = -1) survives,
+					// mirroring the heap drain. The current slot still
+					// holds the settled prefix (bnum already -1) and is
+					// cleared first so the queued-counted sweep can stop
+					// as soon as it accounts for every queued node.
+					for _, u := range w.bkt[slot][i+1:] {
+						w.bnum[u] = -1
+						queued--
+					}
+					w.bkt[slot] = w.bkt[slot][:0]
+					for j := 0; queued > 0 && j < nb; j++ {
+						for _, u := range w.bkt[j] {
+							w.bnum[u] = -1
+							queued--
+						}
+						w.bkt[j] = w.bkt[j][:0]
+					}
+					return
+				}
+			}
+			dv := dist[v]
+			for _, h := range w.g.adj[v] {
+				nd := dv + length[h.Edge]
+				if nd < dist[h.Peer] {
+					dist[h.Peer] = nd
+					prev[h.Peer] = h.Edge
+					// Monotone division keeps nbk ≥ cur always; nbk == cur
+					// (rounding) dirties the current bucket's tail order.
+					nbk := int32(nd / delta)
+					if w.bnum[h.Peer] != nbk {
+						if w.bnum[h.Peer] >= 0 {
+							w.bremove(h.Peer, nb)
+						} else {
+							queued++
+						}
+						w.bput(h.Peer, nbk, nb)
+					}
+					if nbk == int32(cur) {
+						dirty = true
+					}
+				}
+			}
+		}
+		w.bkt[slot] = w.bkt[slot][:0]
+	}
+}
+
+// bput appends v to the bucket for absolute bucket number num.
+func (w *Workspace) bput(v, num int32, nb int) {
+	slot := int(num) % nb
+	w.bnum[v] = num
+	w.bpos[v] = int32(len(w.bkt[slot]))
+	w.bkt[slot] = append(w.bkt[slot], v)
+}
+
+// bremove swap-removes v from its current bucket (order within a pending
+// bucket is irrelevant: it is sorted when it becomes current).
+func (w *Workspace) bremove(v int32, nb int) {
+	slot := int(w.bnum[v]) % nb
+	b := w.bkt[slot]
+	last := len(b) - 1
+	if p := w.bpos[v]; int(p) != last {
+		b[p] = b[last]
+		w.bpos[b[p]] = p
+	}
+	w.bkt[slot] = b[:last]
+}

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// deltaLengths draws per-edge lengths from one of three distributions the
+// FPTAS oracle actually presents: uniform (probe-like), clamped into the
+// warm-seed ratio band [1, m^¼] (warm-start lengths), and power-law with a
+// spread wide enough to cross the kernel's heap-fallback threshold on some
+// seeds (late-phase lengths).
+func deltaLengths(rng *RNG, m int, dist int) []float64 {
+	length := make([]float64, m)
+	switch dist {
+	case 0: // uniform
+		for i := range length {
+			length[i] = 0.1 + rng.Float64()
+		}
+	case 1: // clamped band, ratios in [1, m^¼] over a common floor
+		rmax := math.Pow(float64(m), 0.25)
+		for i := range length {
+			length[i] = 0.01 * (1 + rng.Float64()*(rmax-1))
+		}
+	default: // power-law, spreads up to 2^16 (past deltaMaxSpread)
+		for i := range length {
+			length[i] = math.Pow(2, rng.Float64()*16)
+		}
+	}
+	return length
+}
+
+// TestDeltaStepBitIdenticalToDijkstra is the 40-seed differential suite: on
+// random multigraphs under uniform/clamped/power-law lengths, the bucket
+// kernel's entire Dist/Prev state — settled *and* tentative, full runs and
+// early-exited target runs alike — must be bit-identical to the heap
+// kernel's. One workspace per kernel is reused across all runs so stale
+// bucket-arena or heap state cannot hide.
+func TestDeltaStepBitIdenticalToDijkstra(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := NewRNG(seed)
+		g, _ := randomMultigraph(rng)
+		n := g.N()
+		length := deltaLengths(rng, g.M(), int(seed%3))
+		// Zero-length parallel edges: zero out a few edges, then duplicate
+		// one of them so a zero-length parallel pair always exists.
+		if seed%2 == 0 {
+			for j := 0; j < 3; j++ {
+				length[rng.Intn(g.M())] = 0
+			}
+			e := g.Edge(rng.Intn(g.M()))
+			g.AddEdge(int(e.A), int(e.B))
+			g.SortAdjacency()
+			length = append(length, 0)
+			length[rng.Intn(g.M())] = 0
+		}
+		heap := g.NewWorkspace()
+		bucket := g.NewWorkspace()
+
+		check := func(what string) {
+			t.Helper()
+			for v := 0; v < n; v++ {
+				if heap.Dist[v] != bucket.Dist[v] || heap.Prev[v] != bucket.Prev[v] { //flatlint:ignore floatcmp the kernels must agree bit for bit, tentative state included
+					t.Fatalf("seed %d %s: kernels diverge at node %d: dist %g vs %g, prev %d vs %d",
+						seed, what, v, heap.Dist[v], bucket.Dist[v], heap.Prev[v], bucket.Prev[v])
+				}
+			}
+		}
+
+		for _, src := range []int{0, rng.Intn(n)} {
+			heap.Dijkstra(src, length)
+			bucket.DeltaStep(src, length)
+			check("full")
+
+			// Early-exited target runs: duplicates must count once, and the
+			// stop-point state must match the heap's exactly (same settle
+			// order means the same nodes hold tentative values).
+			targets := []int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+			targets = append(targets, targets[0])
+			heap.DijkstraTargets(src, length, targets)
+			bucket.DeltaStepTargets(src, length, targets)
+			check("targets")
+
+			// Both workspaces must be clean after the early exit: a full
+			// run right after must match a fresh workspace's.
+			heap.Dijkstra(src, length)
+			bucket.DeltaStep(src, length)
+			fresh := g.NewWorkspace()
+			fresh.Dijkstra(src, length)
+			for v := 0; v < n; v++ {
+				if bucket.Dist[v] != fresh.Dist[v] || bucket.Prev[v] != fresh.Prev[v] { //flatlint:ignore floatcmp reuse after early exit must be bit-identical
+					t.Fatalf("seed %d: bucket workspace dirty after early exit at node %d", seed, v)
+				}
+			}
+			check("post-exit")
+		}
+	}
+}
+
+// TestDeltaStepUnreachableTargets pins the unreachable-target contract to
+// DijkstraTargets': the search exhausts the component and reports +Inf.
+func TestDeltaStepUnreachableTargets(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4) // separate component
+	g.SortAdjacency()
+	length := []float64{1, 1, 1}
+	ws := g.NewWorkspace()
+	ws.DeltaStepTargets(0, length, []int32{2, 3})
+	if ws.Dist[2] != 2 { //flatlint:ignore floatcmp unit lengths sum exactly
+		t.Errorf("dist[2] = %g, want 2", ws.Dist[2])
+	}
+	if !math.IsInf(ws.Dist[3], 1) {
+		t.Errorf("dist[3] = %g, want +Inf (unreachable)", ws.Dist[3])
+	}
+	// The workspace must be reusable after exhausting a component.
+	ws.DeltaStep(3, length)
+	if ws.Dist[4] != 1 || !math.IsInf(ws.Dist[0], 1) { //flatlint:ignore floatcmp unit lengths sum exactly
+		t.Errorf("reuse after exhaustion: dist[4] = %g, dist[0] = %g", ws.Dist[4], ws.Dist[0])
+	}
+}
+
+// TestDeltaStepAllZeroLengths covers the degenerate single-bucket case:
+// every edge at length zero means every reachable node is at distance 0 and
+// the (dist, id) scan decides the whole tree.
+func TestDeltaStepAllZeroLengths(t *testing.T) {
+	rng := NewRNG(11)
+	g, _ := randomMultigraph(rng)
+	length := make([]float64, g.M())
+	heap := g.NewWorkspace()
+	bucket := g.NewWorkspace()
+	heap.Dijkstra(0, length)
+	bucket.DeltaStep(0, length)
+	for v := 0; v < g.N(); v++ {
+		if heap.Dist[v] != bucket.Dist[v] || heap.Prev[v] != bucket.Prev[v] { //flatlint:ignore floatcmp the kernels must agree bit for bit
+			t.Fatalf("all-zero lengths: kernels diverge at node %d: prev %d vs %d",
+				v, heap.Prev[v], bucket.Prev[v])
+		}
+		if bucket.Dist[v] != 0 { //flatlint:ignore floatcmp zero-length edges sum exactly
+			t.Fatalf("dist[%d] = %g, want 0 on a connected zero-length graph", v, bucket.Dist[v])
+		}
+	}
+}

@@ -28,6 +28,12 @@ type Workspace struct {
 
 	tmark  []uint64 // target marks for DijkstraTargets, epoch-stamped
 	tepoch uint64   // current target epoch; bumping it clears all marks
+
+	// Bucket arena for the delta-stepping kernel (deltastep.go). Invariant
+	// between runs: every bucket empty, bnum[v] = -1 everywhere.
+	bkt  [][]int32 // circular array of buckets holding queued node ids
+	bnum []int32   // node -> absolute bucket number, -1 when not queued
+	bpos []int32   // node -> slot within its bucket
 }
 
 // NewWorkspace returns a Workspace sized for g. The graph must not gain
@@ -128,21 +134,22 @@ func (w *Workspace) ShortestPath(src, dst int, length []float64) (Path, bool) {
 // than a branch). A non-nil targets slice ends the run once every listed
 // node has been popped; the heap is drained (pos reset) so the workspace
 // invariant survives the early exit.
-func (w *Workspace) run(src int32, length []float64, dist []float64, prev []int32, bannedEdge, bannedNode []bool, targets []int32) {
+// prepare resets dist/prev for a fresh run and epoch-stamps the target
+// marks, counting duplicates once. It returns the (possibly nil-ed) target
+// slice and the number of distinct targets still to settle; an empty target
+// list degenerates to a full run. Shared by the heap and bucket kernels so
+// their early-exit accounting cannot drift apart.
+func (w *Workspace) prepare(dist []float64, prev []int32, targets []int32) ([]int32, int) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
-	}
-	for i := range prev {
 		prev[i] = -1
 	}
 	remaining := 0
 	if targets != nil {
-		// Epoch stamps make clearing the marks O(1); duplicate targets
-		// count once.
-		w.tepoch++
 		if len(w.tmark) < len(dist) {
 			w.tmark = make([]uint64, len(dist))
 		}
+		w.tepoch++
 		for _, t := range targets {
 			if w.tmark[t] != w.tepoch {
 				w.tmark[t] = w.tepoch
@@ -150,9 +157,14 @@ func (w *Workspace) run(src int32, length []float64, dist []float64, prev []int3
 			}
 		}
 		if remaining == 0 {
-			targets = nil // nothing to wait for: fall back to a full run
+			targets = nil
 		}
 	}
+	return targets, remaining
+}
+
+func (w *Workspace) run(src int32, length []float64, dist []float64, prev []int32, bannedEdge, bannedNode []bool, targets []int32) {
+	targets, remaining := w.prepare(dist, prev, targets)
 	w.key = dist
 	w.heap = w.heap[:0]
 	if bannedNode != nil && bannedNode[src] {

@@ -37,6 +37,51 @@ type Commodity struct {
 	Demand   float64
 }
 
+// SSSPKernel selects the shortest-path kernel under the FPTAS oracle. Both
+// kernels produce bit-identical results (distances, shortest-path trees,
+// and therefore every λ and every table); the choice is purely about speed.
+type SSSPKernel int
+
+const (
+	// KernelAuto (the default) runs the delta-stepping bucket queue, which
+	// itself falls back to the heap per call whenever the edge-length
+	// spread leaves its envelope — early, warm-seeded phases ride the
+	// buckets, late phases whose lengths have fanned out ride the heap.
+	KernelAuto SSSPKernel = iota
+	// KernelHeap forces the 4-ary heap everywhere.
+	KernelHeap
+	// KernelDelta asks for the bucket queue explicitly. Today this is the
+	// same dispatch as KernelAuto (the envelope fallback is a correctness
+	// requirement — zero-length edges break the frozen-bucket argument —
+	// so it cannot be disabled); the name exists so callers can pin the
+	// bucket path independently of what auto may later learn to do.
+	KernelDelta
+)
+
+// ParseSSSPKernel maps the flatsim -sssp flag values to a kernel.
+func ParseSSSPKernel(s string) (SSSPKernel, bool) {
+	switch s {
+	case "auto":
+		return KernelAuto, true
+	case "heap":
+		return KernelHeap, true
+	case "delta":
+		return KernelDelta, true
+	}
+	return KernelAuto, false
+}
+
+// String returns the flag spelling of k.
+func (k SSSPKernel) String() string {
+	switch k {
+	case KernelHeap:
+		return "heap"
+	case KernelDelta:
+		return "delta"
+	}
+	return "auto"
+}
+
 // Options tunes the approximation.
 type Options struct {
 	// Epsilon is the FPTAS accuracy parameter (default 0.08). Smaller is
@@ -54,6 +99,9 @@ type Options struct {
 	// possibly well-below-optimal — Lambda, with Approximate set. This is
 	// a budget, not a cancellation: use the context to abort outright.
 	TimeBudget time.Duration
+	// SSSP selects the shortest-path kernel (default KernelAuto). Results
+	// are bit-identical across kernels; only speed differs.
+	SSSP SSSPKernel
 }
 
 // Result reports a solve.
@@ -81,6 +129,13 @@ type Result struct {
 	// instance's edge-length function (Solver only). The ε contract is
 	// unchanged: Lambda is feasible and DualGap remains a true certificate.
 	WarmStarted bool
+	// WarmHits and WarmMisses count warm and cold solves over the owning
+	// Solver's chain so far, this solve included; both are zero for
+	// MaxConcurrentFlow and after Solver.Reset. WarmReject names the gate's
+	// rejection reason when this solve ran cold (one of the WarmReject*
+	// constants; empty when warm-started or when no warm state was in play).
+	WarmHits, WarmMisses int
+	WarmReject           string
 }
 
 // DualGap returns UpperBound/Lambda - 1, the proven relative optimality
@@ -113,6 +168,7 @@ type problem struct {
 	g       *graph.Graph // switch-level graph
 	cap     []float64    // per-edge capacity
 	node    []int        // problem node -> network node
+	coord   []int64      // problem node -> canonical coordinate (see coordOf)
 	srcs    []int32      // commodity sources in ascending order
 	srcOff  []int32      // comms offsets per source; len(srcs)+1 entries
 	comms   []aggCommodity
@@ -137,6 +193,10 @@ func (p *problem) commsOf(si int) []aggCommodity {
 func aggregate(nw *topo.Network, commodities []Commodity, pr *problem) error {
 	pr.node = nw.AppendSwitches(pr.node[:0])
 	sw := pr.node
+	pr.coord = pr.coord[:0]
+	for _, s := range sw {
+		pr.coord = append(pr.coord, coordOf(nw.Nodes[s]))
+	}
 	if cap(pr.idx) < nw.N() {
 		pr.idx = make([]int32, nw.N())
 	}
@@ -225,13 +285,14 @@ func aggregate(nw *topo.Network, commodities []Commodity, pr *problem) error {
 // after warm-up a whole solve allocates only its Result.
 type arena struct {
 	ws      *graph.Workspace
-	req     []float64 // per-edge flow requested this iteration (len M)
-	length  []float64 // per-edge FPTAS length function (len M)
-	touched []int32   // edges with req != 0
-	rem     []float64 // per-destination demand left this phase (len N)
-	remID   []int32   // per-destination commodity id for the current source
-	active  []int32   // destinations with remaining demand, ascending
-	routed  []float64 // per-commodity flow accumulated so far (len numComm)
+	kern    SSSPKernel // shortest-path kernel for this solve
+	req     []float64  // per-edge flow requested this iteration (len M)
+	length  []float64  // per-edge FPTAS length function (len M)
+	touched []int32    // edges with req != 0
+	rem     []float64  // per-destination demand left this phase (len N)
+	remID   []int32    // per-destination commodity id for the current source
+	active  []int32    // destinations with remaining demand, ascending
+	routed  []float64  // per-commodity flow accumulated so far (len numComm)
 }
 
 // solveState pairs an aggregated problem with its arena; the two are
@@ -285,6 +346,17 @@ func (ar *arena) bind(pr *problem) {
 	ar.active = ar.active[:0]
 }
 
+// oracle runs one early-stopped single-source shortest-path pass on the
+// solve's selected kernel. The kernels are bit-identical in results, so the
+// dispatch can never change a solve — only its speed.
+func (ar *arena) oracle(src int32, length []float64, targets []int32) {
+	if ar.kern == KernelHeap {
+		ar.ws.DijkstraTargets(int(src), length, targets)
+	} else {
+		ar.ws.DeltaStepTargets(int(src), length, targets)
+	}
+}
+
 // zeroed returns s resized to n with every element zero, reusing the
 // backing array when it is large enough.
 func zeroed(s []float64, n int) []float64 {
@@ -322,18 +394,33 @@ func MaxConcurrentFlow(ctx context.Context, nw *topo.Network, commodities []Comm
 }
 
 // solve runs one FPTAS solve on st. A non-nil warm is consumed to seed the
-// length function (when usable) and refreshed with the final lengths on
-// success; any error leaves it invalidated, because an aborted solve has no
-// trustworthy length function to hand forward.
+// length function (when the gate allows) and refreshed with the final
+// lengths on success; any error leaves it invalidated, because an aborted
+// solve has no trustworthy length function to hand forward.
+//
+// A warm solve that "converged" without completing a single phase is redone
+// cold: that shape only occurs when the transferred normalizer overshot
+// this instance's OPT by orders of magnitude (normalized OPT ≪ 1), which
+// quantizes λ to garbage — possibly 0, when the stop condition fired before
+// late sources routed anything. The retry costs one cold solve, exactly
+// what a conservative gate would have paid anyway, and its Dijkstra count
+// carries the wasted warm work so the accounting stays honest.
 func (st *solveState) solve(ctx context.Context, nw *topo.Network, commodities []Commodity, opt Options, warm *warmState) (Result, error) {
-	res, err := st.fptas(ctx, nw, commodities, opt, warm)
+	res, err := st.fptas(ctx, nw, commodities, opt, warm, false)
+	if err == nil && res.WarmStarted && !res.Approximate && res.Phases == 0 {
+		wasted := res.Dijkstras
+		res, err = st.fptas(ctx, nw, commodities, opt, warm, true)
+		if err == nil {
+			res.Dijkstras += wasted
+		}
+	}
 	if warm != nil && err != nil {
 		warm.valid = false
 	}
 	return res, err
 }
 
-func (st *solveState) fptas(ctx context.Context, nw *topo.Network, commodities []Commodity, opt Options, warm *warmState) (Result, error) {
+func (st *solveState) fptas(ctx context.Context, nw *topo.Network, commodities []Commodity, opt Options, warm *warmState, forceCold bool) (Result, error) {
 	if opt.Epsilon <= 0 {
 		opt.Epsilon = 0.08
 	}
@@ -353,11 +440,19 @@ func (st *solveState) fptas(ctx context.Context, nw *topo.Network, commodities [
 
 	ar := &st.ar
 	ar.bind(pr)
+	ar.kern = opt.SSSP
 	res := Result{UpperBound: math.Inf(1)}
 
 	eps := opt.Epsilon
-	warmOK := warm != nil && warm.usable(pr, eps)
+	mode := warmNone
 	if warm != nil {
+		if forceCold {
+			res.WarmReject = WarmRejectColdRetry
+		} else {
+			var reject string
+			mode, reject = warm.gate(pr, eps)
+			res.WarmReject = reject
+		}
 		// Fingerprint the commodities before normalization rescales the
 		// demands in place; capture promotes it if the solve succeeds.
 		warm.snapshot(pr)
@@ -374,11 +469,24 @@ func (st *solveState) fptas(ctx context.Context, nw *topo.Network, commodities [
 	// inflation — so normalized OPT lands at ~1 and the phase count drops
 	// by the stretch factor. Either normalizer is just a change of units,
 	// undone when λ is scaled back at the end, so this affects work and λ
-	// quantization granularity, never correctness.
+	// quantization granularity, never correctness. A related (not
+	// identical) instance's λ is first rescaled by the aggregate-demand
+	// ratio: λ·ΣD is roughly the shippable flow, so same-fabric demand
+	// redraws track OPT almost exactly and adjacent-k hops are off only by
+	// the capacity growth factor — still far tighter than the probe's
+	// stretch inflation, and the cold retry in solve catches any
+	// pathological overshoot.
 	var lambdaHat float64
-	if warmOK && warm.lambda > 0 {
+	switch {
+	case mode == warmIdentical && warm.lambda > 0:
 		lambdaHat = warm.lambda
-	} else {
+	case mode == warmRescaled && warm.lambda > 0 && warm.demand > 0:
+		newDem := 0.0
+		for i := range pr.comms {
+			newDem += pr.comms[i].demand
+		}
+		lambdaHat = warm.lambda * warm.demand / newDem
+	default:
 		var err error
 		if lambdaHat, err = pr.probeScale(ctx, ar, &res); err != nil {
 			return Result{}, err
@@ -392,7 +500,7 @@ func (st *solveState) fptas(ctx context.Context, nw *topo.Network, commodities [
 	delta := (1 + eps) * math.Pow((1+eps)*float64(m), -1/eps)
 	length := ar.length
 	sumLC := 0.0 // D(l) = sum_e length_e * cap_e
-	if warmOK {
+	if mode != warmNone {
 		sumLC = warm.seed(pr, length, delta, eps)
 		res.WarmStarted = true
 	} else {
@@ -437,7 +545,7 @@ phases:
 				// of the source and stops once all of them have settled.
 				// Settled results are bit-identical to a full Dijkstra, so
 				// the early stop is pure savings.
-				ar.ws.DijkstraTargets(int(src), length, ar.active)
+				ar.oracle(src, length, ar.active)
 				res.Dijkstras++
 				dist, prev := ar.ws.Dist, ar.ws.Prev
 				if firstIteration && !opt.SkipDualBound {
@@ -569,7 +677,7 @@ func (p *problem) probeScale(ctx context.Context, ar *arena, res *Result) (float
 		for _, c := range p.commsOf(si) {
 			ar.active = append(ar.active, c.dst)
 		}
-		ar.ws.DijkstraTargets(int(src), unit, ar.active)
+		ar.oracle(src, unit, ar.active)
 		res.Dijkstras++
 		dist, prev := ar.ws.Dist, ar.ws.Prev
 		for _, c := range p.commsOf(si) {

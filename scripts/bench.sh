@@ -6,33 +6,43 @@
 #     broadcast workload at three accuracies — the headline solver cost,
 #     with lambda / dual gap / Dijkstra counts as accuracy witnesses;
 #   - BenchmarkSolverSequence (repo root): a failure -> dark-window ->
-#     repair chain of near-identical instances, cold vs warm-started
-#     (mcf.Solver), with dual-gap / warm-start counts as witnesses;
+#     repair chain of related instances with re-drawn per-stage demands,
+#     cold vs warm-started (mcf.Solver), with dual-gap / warm-start counts
+#     as witnesses;
+#   - BenchmarkSolverCrossK (repo root): the fig8 fat-tree column chain,
+#     cold vs warm-started down the k axis (cross-k seeding);
 #   - BenchmarkFleischer (internal/mcf): fat-tree hot-spot solves;
-#   - BenchmarkDijkstra, BenchmarkDijkstraK32Scale, BenchmarkKShortestPaths
-#     (internal/graph): the shortest-path kernel alone.
+#   - BenchmarkDijkstra, BenchmarkDijkstraK32Scale, BenchmarkDeltaStep,
+#     BenchmarkDeltaStepK32Scale, BenchmarkKShortestPaths (internal/graph):
+#     the shortest-path kernels alone, heap vs bucket queue.
 #
 # Usage:
 #
-#	./scripts/bench.sh [output.json]      # regenerate (default: BENCH_mcf.json)
-#	./scripts/bench.sh --check            # pre-merge perf gate
+#	./scripts/bench.sh [output.json]          # regenerate (default: BENCH_mcf.json)
+#	./scripts/bench.sh --check                # pre-merge perf gate
+#	./scripts/bench.sh --check --tolerance 0.25   # looser gate (noisy host)
+#	BENCH_TOLERANCE=0.25 ./scripts/bench.sh --check   # same, via env
 #
 # JSON assembly is delegated to cmd/benchjson. When regenerating, every
 # frozen "baseline*" section is carried forward from the checked-in
 # BENCH_mcf.json — the historical perf trajectory lives only in that file,
 # and benchjson fails loudly if it (or its frozen sections) is missing
 # rather than silently dropping history. --check reruns only the solver
-# benchmarks and exits non-zero on a >15% ns/op regression against the
-# checked-in "benchmarks" section; a justified regression is recorded by
-# regenerating the baseline in the same PR.
+# benchmarks and exits non-zero on a ns/op regression beyond the tolerance
+# (default 15%) against the checked-in "benchmarks" section; a justified
+# regression is recorded by regenerating the baseline in the same PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CHECK=0
-if [[ "${1:-}" == "--check" ]]; then
-    CHECK=1
-    shift
-fi
+TOLERANCE="${BENCH_TOLERANCE:-0.15}"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --check) CHECK=1; shift ;;
+        --tolerance) TOLERANCE="${2:?--tolerance needs a value}"; shift 2 ;;
+        *) break ;;
+    esac
+done
 OUT="${1:-BENCH_mcf.json}"
 # Iteration-pinned benchtime for the solver benches keeps the wall time of
 # this script bounded; the microbenchmarks use a time budget for stable
@@ -48,18 +58,18 @@ trap 'rm -f "$tmp"' EXIT
 echo "== solver benchmarks (benchtime $SOLVER_BENCHTIME, sequence $SEQUENCE_BENCHTIME)"
 go test -run '^$' -bench 'BenchmarkAblationEpsilon' -benchmem \
     -benchtime "$SOLVER_BENCHTIME" . | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkSolverSequence' -benchmem \
+go test -run '^$' -bench 'BenchmarkSolverSequence|BenchmarkSolverCrossK' -benchmem \
     -benchtime "$SEQUENCE_BENCHTIME" . | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkFleischer' -benchmem \
     -benchtime "$SOLVER_BENCHTIME" ./internal/mcf | tee -a "$tmp"
 
 if [[ "$CHECK" == 1 ]]; then
-    go run ./cmd/benchjson -bench "$tmp" -in BENCH_mcf.json -check
+    go run ./cmd/benchjson -bench "$tmp" -in BENCH_mcf.json -check -tolerance "$TOLERANCE"
     exit 0
 fi
 
 echo "== kernel microbenchmarks (benchtime $MICRO_BENCHTIME)"
-go test -run '^$' -bench 'BenchmarkDijkstra|BenchmarkKShortestPaths' \
+go test -run '^$' -bench 'BenchmarkDijkstra|BenchmarkDeltaStep|BenchmarkKShortestPaths' \
     -benchmem -benchtime "$MICRO_BENCHTIME" ./internal/graph | tee -a "$tmp"
 
 go run ./cmd/benchjson -bench "$tmp" -in BENCH_mcf.json -out "$OUT" \

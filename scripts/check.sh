@@ -16,8 +16,10 @@
 #
 # check.sh verifies correctness only. Performance is gated separately:
 # ./scripts/bench.sh --check is the pre-merge perf gate — it reruns the
-# solver benchmarks (AblationEpsilon, SolverSequence, Fleischer) and exits
-# non-zero on a >15% ns/op regression against the checked-in BENCH_mcf.json.
+# solver benchmarks (AblationEpsilon, SolverSequence, SolverCrossK,
+# Fleischer) and exits non-zero on a >15% ns/op regression (tolerance
+# configurable: --tolerance / BENCH_TOLERANCE) against the checked-in
+# BENCH_mcf.json.
 # Run it when touching internal/graph or internal/mcf hot paths; a justified
 # regression is recorded by regenerating the baseline (./scripts/bench.sh)
 # in the same PR.
@@ -56,5 +58,13 @@ go test -race ./internal/ctrl/... ./internal/dynsim/... \
     ./internal/parallel/... ./internal/graph/... ./internal/metrics/... \
     ./internal/faults/... ./internal/experiments/... \
     ./internal/flatlint/...
+
+echo "== bench smoke (1 iteration; compiles and runs the kernel benches)"
+# One pinned iteration of the SSSP kernel benchmarks: not a perf
+# measurement (that is ./scripts/bench.sh --check), just proof the bench
+# harness still builds and both kernels still run. Catches bit-rot in
+# bench-only code paths that go test -run never executes.
+go test -run '^$' -bench 'BenchmarkDijkstra|BenchmarkDeltaStep' \
+    -benchtime 1x ./internal/graph > /dev/null
 
 echo "ok: all checks passed"
