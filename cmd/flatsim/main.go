@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|selfheal|latency|stats|export|all
+//	flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|selfheal|soak|latency|stats|export|all
 //
 // Examples:
 //
@@ -14,6 +14,7 @@
 //	flatsim -tsv all > results.tsv
 //	flatsim -kmax 8 -trials 5 faultsrecovery   # §5 failure -> recovery table
 //	flatsim -kmax 8 -failfrac 0.25 selfheal    # live self-healing trajectory
+//	flatsim -kmax 8 -rate 1 -horizon 20 soak   # chaos soak: continuous failures vs self-healing
 //
 // Long sweeps respond to Ctrl-C / SIGTERM and to -timeout by stopping
 // promptly with a partial-result message; already-printed tables remain
@@ -29,8 +30,11 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"syscall"
 
+	"flattree/internal/chaos"
 	"flattree/internal/core"
 	"flattree/internal/experiments"
 	"flattree/internal/fattree"
@@ -69,10 +73,17 @@ func main() {
 		solveBudget = flag.Duration("solvebudget", 0, "wall-clock budget per MCF solve; budget-limited cells carry a trailing ~ (0 = unbounded)")
 		ssspKern    = flag.String("sssp", "auto", "shortest-path kernel inside MCF solves: auto|heap|delta (identical output, different speed)")
 		failFrac    = flag.Float64("failfrac", 0.25, "selfheal: fraction of pod agents killed mid-run")
-		batch       = flag.Int("batch", 1, "selfheal: pods re-aimed per dark window")
+		batch       = flag.Int("batch", 1, "selfheal/soak: pods re-aimed per dark window")
+
+		soakRate     = flag.Float64("rate", 1, "soak: episode arrival rate per unit virtual time")
+		soakHorizon  = flag.Float64("horizon", 20, "soak: virtual duration of the soak")
+		soakEpisodes = flag.Int("episodes", 0, "soak: cap on spawned episodes (0 = unlimited)")
+		soakWindow   = flag.Float64("windowcost", 0.25, "soak: virtual time one dark repair window occupies")
+		soakSLO      = flag.Float64("slo", 0.9, "soak: served-capacity fraction the availability verdict is judged against")
+		soakMix      = flag.String("mix", "", "soak: episode mix weights link,switch,conv,pod (empty = 5,3,1,1)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|selfheal|latency|stats|export|all\n")
+		fmt.Fprintf(os.Stderr, "usage: flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|selfheal|soak|latency|stats|export|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -127,6 +138,25 @@ func main() {
 	}
 	if *eps <= 0 || *eps >= 0.5 {
 		badFlag("-eps %g out of (0,0.5)", *eps)
+	}
+	if *soakRate <= 0 {
+		badFlag("-rate %g must be positive", *soakRate)
+	}
+	if *soakHorizon <= 0 {
+		badFlag("-horizon %g must be positive", *soakHorizon)
+	}
+	if *soakEpisodes < 0 {
+		badFlag("-episodes %d is negative; use 0 for unlimited", *soakEpisodes)
+	}
+	if *soakWindow <= 0 {
+		badFlag("-windowcost %g must be positive", *soakWindow)
+	}
+	if *soakSLO <= 0 || *soakSLO > 1 {
+		badFlag("-slo %g out of (0,1]", *soakSLO)
+	}
+	mix, err := parseMix(*soakMix)
+	if err != nil {
+		badFlag("%v", err)
 	}
 	kern, ok := mcf.ParseSSSPKernel(*ssspKern)
 	if !ok {
@@ -247,6 +277,42 @@ func main() {
 			t, err := experiments.SelfHeal(ctx, cfg, cfg.KMax, *failFrac, *batch)
 			check(err)
 			emit(t)
+		case "soak":
+			// Start the soak from a clean warm-start ledger so the per-batch
+			// lines below describe this soak alone, not whatever ran before.
+			mcf.ResetWarmStats()
+			t, arms, err := experiments.Soak(ctx, cfg, cfg.KMax, chaos.Options{
+				Rate:         *soakRate,
+				Horizon:      *soakHorizon,
+				MaxEpisodes:  *soakEpisodes,
+				WindowCost:   *soakWindow,
+				BatchSize:    *batch,
+				SLOThreshold: *soakSLO,
+				Mix:          mix,
+			})
+			// One warm-rate line per episode batch (the segments sharing one
+			// episode index solve in series on one solver), per arm — stderr,
+			// so piped TSV stays clean.
+			for _, arm := range arms {
+				for _, g := range arm.Result.Groups {
+					label := fmt.Sprintf("episode %d", g.Episode)
+					if g.Episode < 0 {
+						label = "baseline"
+					}
+					rate := 0.0
+					if g.Solves > 0 {
+						rate = 100 * float64(g.Warm) / float64(g.Solves)
+					}
+					fmt.Fprintf(os.Stderr, "flatsim: soak %s: %s: %d/%d solves warm-started (%.0f%%)\n",
+						arm.Name, label, g.Warm, g.Solves, rate)
+				}
+			}
+			// The partial table is still valid on cancellation; print what
+			// finished before reporting the interruption.
+			if len(t.Rows) > 0 {
+				emit(t)
+			}
+			check(err)
 		case "latency":
 			t, err := experiments.Latency(ctx, cfg, cfg.KMax, 0)
 			check(err)
@@ -256,7 +322,7 @@ func main() {
 		case "export":
 			exportNetwork(*expK, *expMode, *expFmt)
 		case "all":
-			for _, n := range []string{"stats", "props", "fig5", "fig6", "fig7", "fig8", "hybrid", "profile", "faults", "faultsrecovery", "selfheal", "latency"} {
+			for _, n := range []string{"stats", "props", "fig5", "fig6", "fig7", "fig8", "hybrid", "profile", "faults", "faultsrecovery", "selfheal", "soak", "latency"} {
 				run(n)
 			}
 		default:
@@ -333,6 +399,35 @@ func exportNetwork(k int, mode, format string) {
 	default:
 		fatal(fmt.Errorf("unknown export format %q", format))
 	}
+}
+
+// parseMix turns the -mix flag ("link,switch,conv,pod" relative weights)
+// into a chaos.Mix, keeping DefaultMix's severity knobs; empty selects the
+// default mix entirely.
+func parseMix(s string) (chaos.Mix, error) {
+	if s == "" {
+		return chaos.Mix{}, nil
+	}
+	var w [4]float64
+	fields := strings.Split(s, ",")
+	if len(fields) != len(w) {
+		return chaos.Mix{}, fmt.Errorf("-mix %q needs exactly %d comma-separated weights (link,switch,conv,pod)", s, len(w))
+	}
+	total := 0.0
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v < 0 {
+			return chaos.Mix{}, fmt.Errorf("-mix weight %q must be a number >= 0", f)
+		}
+		w[i] = v
+		total += v
+	}
+	if total <= 0 {
+		return chaos.Mix{}, fmt.Errorf("-mix %q has no positive weight", s)
+	}
+	m := chaos.DefaultMix()
+	m.LinkBurst, m.SwitchKill, m.ConverterKill, m.PodKill = w[0], w[1], w[2], w[3]
+	return m, nil
 }
 
 func check(err error) {

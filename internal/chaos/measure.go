@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"flattree/internal/graph"
+	"flattree/internal/mcf"
+	"flattree/internal/metrics"
+	"flattree/internal/parallel"
+	"flattree/internal/topo"
+)
+
+// largestComponentServers returns the servers of the largest connected
+// component, ascending. Soak fabrics are legitimately missing servers
+// (dark windows detach them, dead pods remove them); the surviving
+// majority's service is the quantity the SLO judges.
+func largestComponentServers(nw *topo.Network) []int {
+	g := nw.Graph()
+	servers := nw.Servers()
+	seen := make([]bool, nw.N())
+	var best []int
+	for _, s := range servers {
+		if seen[s] {
+			continue
+		}
+		dist := g.BFS(s)
+		var comp []int
+		for _, sv := range servers {
+			if dist[sv] >= 0 && !seen[sv] {
+				seen[sv] = true
+				comp = append(comp, sv)
+			}
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	sort.Ints(best)
+	return best
+}
+
+// componentCommodities gives each largest-component server unit demand to
+// one seeded pseudo-random peer. One seed serves the whole soak: segment
+// to segment the component shifts only gradually, so consecutive solves
+// ride the solver's warm/rescale path instead of running cold.
+func componentCommodities(comp []int, seed uint64) []mcf.Commodity {
+	if len(comp) < 2 {
+		return nil
+	}
+	perm := graph.NewRNG(seed).Perm(len(comp))
+	comms := make([]mcf.Commodity, 0, len(comp))
+	for i, p := range perm {
+		if i == p {
+			continue
+		}
+		comms = append(comms, mcf.Commodity{Src: comp[i], Dst: comp[p], Demand: 1})
+	}
+	return comms
+}
+
+// measure runs the λ sweep over the live loop's segments and folds the
+// series into the availability summary. Segments are grouped by episode
+// index; each group owns one pooled solver and walks its segments in
+// series order, so consecutive solves of near-identical fabrics
+// warm-start — and the grouping is a pure function of the series, keeping
+// the result byte-identical at any worker count. Lambda0 comes from the
+// first (baseline) segment, which always forms its own group.
+func (e *engine) measure(ctx context.Context, baseline *topo.Network) (*Result, error) {
+	res := &Result{
+		Episodes: e.episodes,
+		Windows:  e.windows,
+		Replans:  e.replans,
+		Excluded: append([]int(nil), e.excluded...),
+		Horizon:  e.opt.Horizon,
+	}
+	if len(e.spans) == 0 {
+		return res, nil
+	}
+	baseServers := len(baseline.Servers())
+	commSeed := e.stream.Seed(1 << 40)
+
+	// Group consecutive spans by episode index.
+	type group struct{ lo, hi int } // spans[lo:hi]
+	var groups []group
+	for i := 0; i < len(e.spans); {
+		j := i + 1
+		for j < len(e.spans) && e.spans[j].episode == e.spans[i].episode {
+			j++
+		}
+		groups = append(groups, group{i, j})
+		i = j
+	}
+
+	type cell struct {
+		frac, lambda float64
+		approx       bool
+	}
+	type groupOut struct {
+		cells []cell
+		stats GroupStats
+	}
+	outs, err := parallel.MapCtx(ctx, len(groups), e.opt.Parallelism, func(gi int) (groupOut, error) {
+		g := groups[gi]
+		s := mcf.GetSolver()
+		defer s.Release()
+		out := groupOut{
+			cells: make([]cell, g.hi-g.lo),
+			stats: GroupStats{Episode: e.spans[g.lo].episode},
+		}
+		for i := g.lo; i < g.hi; i++ {
+			sp := e.spans[i]
+			comp := largestComponentServers(sp.nw)
+			c := cell{frac: float64(len(comp)) / float64(baseServers)}
+			comms := componentCommodities(comp, commSeed)
+			if len(comms) > 0 {
+				r, err := s.Solve(ctx, sp.nw, comms, mcf.Options{
+					Epsilon: e.opt.Epsilon, SkipDualBound: true,
+					TimeBudget: e.opt.SolveBudget, SSSP: e.opt.SSSP})
+				if err != nil {
+					return groupOut{}, fmt.Errorf("chaos: measure t=%g (%s): %w", sp.t, sp.label, err)
+				}
+				c.lambda, c.approx = r.Lambda, r.Approximate
+				out.stats.Solves++
+				if r.WarmStarted {
+					out.stats.Warm++
+				}
+			}
+			out.cells[i-g.lo] = c
+		}
+		return out, nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	var cells []cell
+	for _, o := range outs {
+		cells = append(cells, o.cells...)
+		res.Groups = append(res.Groups, o.stats)
+	}
+	res.Lambda0 = cells[0].lambda
+
+	segs := make([]metrics.Segment, 0, len(e.spans))
+	for i, sp := range e.spans {
+		c := cells[i]
+		served := c.frac
+		if res.Lambda0 > 0 {
+			rel := c.lambda / res.Lambda0
+			if rel < 1 {
+				served *= rel
+			}
+		} else if c.lambda <= 0 {
+			served = 0
+		}
+		res.Samples = append(res.Samples, Sample{
+			T: sp.t, Dur: sp.dur, Label: sp.label,
+			Episode: sp.episode, InWindow: sp.inWindow,
+			ServerFrac: c.frac, Lambda: c.lambda, Served: served,
+			Approx: c.approx,
+		})
+		segs = append(segs, metrics.Segment{Dur: sp.dur, Value: served})
+	}
+	slo, err := metrics.SLO(segs, e.opt.SLOThreshold)
+	if err != nil {
+		return res, err
+	}
+	res.SLO = slo
+	return res, nil
+}

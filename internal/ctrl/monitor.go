@@ -33,31 +33,40 @@ func (c *Controller) DeadPods(deadline time.Duration) []int {
 // least deadline, or ctx expires. It is the test/driver-side complement of
 // DeadPods: after killing a set of agents, waiting here guarantees the
 // monitor's verdict is stable before repair planning starts.
-func (c *Controller) WaitForFailures(ctx context.Context, pods []int, deadline time.Duration) error {
+//
+// The poll period starts at an eighth of the heartbeat deadline and backs
+// off exponentially, capped at the deadline itself — a soak loop calling
+// this continuously must not spin faster than the verdict can change. On
+// success the returned slice is nil; on cancellation it holds the sorted
+// pods that were still live, so the caller knows which deaths never
+// stabilized.
+func (c *Controller) WaitForFailures(ctx context.Context, pods []int, deadline time.Duration) ([]int, error) {
 	period := deadline / 8
 	if period < time.Millisecond {
 		period = time.Millisecond
 	}
-	tick := time.NewTicker(period)
-	defer tick.Stop()
 	for {
 		dead := make(map[int]bool)
 		for _, p := range c.DeadPods(deadline) {
 			dead[p] = true
 		}
-		missing := 0
+		var live []int
 		for _, p := range pods {
 			if !dead[p] {
-				missing++
+				live = append(live, p)
 			}
 		}
-		if missing == 0 {
-			return nil
+		if len(live) == 0 {
+			return nil, nil
 		}
 		select {
-		case <-tick.C:
+		case <-time.After(period):
+			if period *= 2; period > deadline {
+				period = deadline
+			}
 		case <-ctx.Done():
-			return fmt.Errorf("ctrl: %w waiting for %d of %d pods to fail", ctx.Err(), missing, len(pods))
+			sort.Ints(live)
+			return live, fmt.Errorf("ctrl: %w waiting for %d of %d pods to fail", ctx.Err(), len(live), len(pods))
 		}
 	}
 }

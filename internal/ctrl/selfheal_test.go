@@ -114,7 +114,7 @@ func TestHeartbeatLivenessMonitor(t *testing.T) {
 	hp.kill(1)
 	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer wcancel()
-	if err := hp.c.WaitForFailures(wctx, []int{1, 2}, testDeadline); err != nil {
+	if _, err := hp.c.WaitForFailures(wctx, []int{1, 2}, testDeadline); err != nil {
 		t.Fatal(err)
 	}
 	dead := hp.c.DeadPods(testDeadline)
@@ -129,8 +129,12 @@ func TestWaitForFailuresTimeout(t *testing.T) {
 	hp := startHealPlant(t, 4)
 	wctx, wcancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer wcancel()
-	if err := hp.c.WaitForFailures(wctx, []int{0}, time.Hour); err == nil {
+	live, err := hp.c.WaitForFailures(wctx, []int{0}, time.Hour)
+	if err == nil {
 		t.Fatal("WaitForFailures returned nil for a live pod")
+	}
+	if len(live) != 1 || live[0] != 0 {
+		t.Fatalf("still-live pods = %v, want [0]", live)
 	}
 }
 
@@ -149,7 +153,7 @@ func TestSelfHealRepairsDeadPod(t *testing.T) {
 	}
 
 	hp.kill(4)
-	if err := hp.c.WaitForFailures(ctx, []int{4}, testDeadline); err != nil {
+	if _, err := hp.c.WaitForFailures(ctx, []int{4}, testDeadline); err != nil {
 		t.Fatal(err)
 	}
 
@@ -220,7 +224,7 @@ func TestSelfHealExcludesRejectingPod(t *testing.T) {
 	}
 
 	hp.kill(0)
-	if err := hp.c.WaitForFailures(ctx, []int{0}, testDeadline); err != nil {
+	if _, err := hp.c.WaitForFailures(ctx, []int{0}, testDeadline); err != nil {
 		t.Fatal(err)
 	}
 

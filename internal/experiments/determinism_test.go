@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"testing"
 
+	"flattree/internal/chaos"
 	"flattree/internal/faults"
 )
 
@@ -48,6 +49,15 @@ func TestTablesByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		}},
 		{"profile", func(cfg Config) (*Table, error) {
 			tab, _, err := Profile(context.Background(), cfg, 8)
+			return tab, err
+		}},
+		{"soak", func(cfg Config) (*Table, error) {
+			// Both arms — live TCP control plane with overlapping repairs,
+			// and the fixed-cabling control — must replay byte-identically
+			// from the seed at any measurement worker count.
+			cfg.Epsilon = 0.3 // determinism is epsilon-independent; keep the live-plant run fast
+			tab, _, err := Soak(context.Background(), cfg, 4, chaos.Options{
+				Rate: 2, Horizon: 4, WindowCost: 0.25, SLOThreshold: 0.9})
 			return tab, err
 		}},
 	}

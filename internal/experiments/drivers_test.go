@@ -4,6 +4,8 @@ import (
 	"context"
 	"strconv"
 	"testing"
+
+	"flattree/internal/chaos"
 )
 
 func TestFaultsDriver(t *testing.T) {
@@ -43,6 +45,53 @@ func TestFaultsDriver(t *testing.T) {
 			}
 			prev = v
 		}
+	}
+}
+
+func TestSoakDriver(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Epsilon = 0.3
+	tab, arms, err := Soak(context.Background(), cfg, 4, chaos.Options{
+		Rate: 2, Horizon: 5, WindowCost: 0.25, SLOThreshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(arms) != 2 {
+		t.Fatalf("rows = %d, arms = %d", len(tab.Rows), len(arms))
+	}
+	if tab.Rows[0][0] != "flat-tree/self-heal" || tab.Rows[1][0] != "fat-tree/control" {
+		t.Fatalf("arm order: %q, %q", tab.Rows[0][0], tab.Rows[1][0])
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Errorf("row %d has %d cells, header %d", i, len(row), len(tab.Header))
+		}
+	}
+	// The same seeded event stream hits both arms: same episode count.
+	if tab.Rows[0][1] != tab.Rows[1][1] {
+		t.Errorf("episode counts differ across arms: %s vs %s", tab.Rows[0][1], tab.Rows[1][1])
+	}
+	// Only the self-healing arm repairs: it executes windows, the control
+	// arm leaves every episode unrepaired (mean latency "-").
+	if w, _ := strconv.Atoi(tab.Rows[0][2]); w == 0 {
+		t.Error("self-healing arm executed no windows")
+	}
+	if tab.Rows[1][2] != "0" || tab.Rows[1][9] != "-" {
+		t.Errorf("control arm healed: windows=%s latency=%s", tab.Rows[1][2], tab.Rows[1][9])
+	}
+	if tab.Rows[1][10] != tab.Rows[1][1] {
+		t.Errorf("control arm repaired episodes: unrepaired=%s of %s", tab.Rows[1][10], tab.Rows[1][1])
+	}
+	// A cancelled soak still returns the (empty or partial) table.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tab, _, err = Soak(ctx, cfg, 4, chaos.Options{
+		Rate: 2, Horizon: 5, WindowCost: 0.25, SLOThreshold: 0.9})
+	if err == nil {
+		t.Fatal("cancelled soak reported success")
+	}
+	if tab == nil {
+		t.Fatal("cancelled soak returned no table")
 	}
 }
 

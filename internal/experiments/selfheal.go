@@ -212,7 +212,7 @@ func runSelfHealTrial(ctx context.Context, k, nDead, batchSize int, seed uint64)
 		cancels[p]()
 	}
 	const deadline = 60 * time.Millisecond
-	if err := c.WaitForFailures(wctx, dead, deadline); err != nil {
+	if _, err := c.WaitForFailures(wctx, dead, deadline); err != nil {
 		return nil, err
 	}
 

@@ -103,9 +103,37 @@ type Outcome struct {
 // failures, then converter blocks — so adding a later stage to a scenario
 // never changes what an earlier stage fails.
 func Fail(nw *topo.Network, sc Scenario) (*Outcome, error) {
+	return Compose(&Outcome{Net: nw}, sc)
+}
+
+// Compose applies a new failure episode on top of an already-degraded
+// Outcome, as a long-horizon soak needs when faults arrive as a stream:
+// the previous episode's bookkeeping is carried forward instead of being
+// recomputed from an undamaged network. Specifically:
+//
+//   - links pinned by earlier converter deaths stay pinned in the new
+//     outcome (remapped to the rebuilt network's link IDs);
+//   - freed ports recorded on surviving switches stay freed (a repair may
+//     not have consumed them yet), and the new episode's freed ports are
+//     appended after them;
+//   - a dead link that was pinned frees no ports — the converter that
+//     would re-aim them is itself dead, so the ports are dead metal;
+//   - damage counters accumulate across episodes.
+//
+// prev is not modified. A fresh network is the degenerate case: Fail is
+// exactly Compose onto an Outcome with no prior damage.
+func Compose(prev *Outcome, sc Scenario) (*Outcome, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
+	nw := prev.Net
+	if prev.Pinned != nil && len(prev.Pinned) != len(nw.Links) {
+		return nil, fmt.Errorf("faults: outcome has %d pinned flags for %d links", len(prev.Pinned), len(nw.Links))
+	}
+	if prev.Freed != nil && len(prev.Freed) != nw.N() {
+		return nil, fmt.Errorf("faults: outcome has %d freed entries for %d nodes", len(prev.Freed), nw.N())
+	}
+	prevPinned := func(id int) bool { return prev.Pinned != nil && prev.Pinned[id] }
 	failedSwitch := make(map[int]bool, len(sc.Switches))
 	for _, s := range sc.Switches {
 		if s < 0 || s >= nw.N() || !nw.Nodes[s].Kind.IsSwitch() {
@@ -242,7 +270,17 @@ func Fail(nw *topo.Network, sc Scenario) (*Outcome, error) {
 	}
 	out := &Outcome{
 		Freed:          make([][]topo.LinkTag, b.NumNodes()),
-		FailedSwitches: len(failedSwitch),
+		FailedSwitches: prev.FailedSwitches + len(failedSwitch),
+		FailedLinks:    prev.FailedLinks,
+	}
+	// Unconsumed freed ports from earlier episodes ride along on their
+	// surviving switches, ahead of this episode's ports.
+	if prev.Freed != nil {
+		for v, tags := range prev.Freed {
+			if remap[v] >= 0 && len(tags) > 0 {
+				out.Freed[remap[v]] = append([]topo.LinkTag(nil), tags...)
+			}
+		}
 	}
 	var pinnedNew []bool
 	for _, l := range nw.Links {
@@ -250,8 +288,9 @@ func Fail(nw *topo.Network, sc Scenario) (*Outcome, error) {
 		dead := failedLink[l.ID] || a < 0 || bb < 0
 		if !dead {
 			b.AddLink(a, bb, l.Tag)
-			pinnedNew = append(pinnedNew, pinnedOld[l.ID])
-			if pinnedOld[l.ID] {
+			pin := pinnedOld[l.ID] || prevPinned(l.ID)
+			pinnedNew = append(pinnedNew, pin)
+			if pin {
 				out.PinnedLinks++
 			}
 			continue
@@ -261,6 +300,12 @@ func Fail(nw *topo.Network, sc Scenario) (*Outcome, error) {
 		}
 		if failedLink[l.ID] && a >= 0 && bb >= 0 {
 			out.FailedLinks++
+		}
+		if prevPinned(l.ID) || pinnedOld[l.ID] {
+			// The converter that would re-aim these ports is dead; a
+			// pinned link's death strands its ports instead of freeing
+			// them.
+			continue
 		}
 		// Each surviving endpoint gains a freed port.
 		if a >= 0 {

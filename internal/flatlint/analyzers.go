@@ -172,7 +172,8 @@ func runGlobalrand(pc *pkgChecker) {
 //	layer 3: core, fattree, faults, jellyfish, mcf, metrics, routing
 //	layer 4: dynsim, flowsim, pktsim, traffic, twostage (simulators)
 //	layer 5: ctrl                             (control plane)
-//	layer 6: experiments                      (drivers; may stand up ctrl plants)
+//	layer 6: chaos                            (soak engine; drives ctrl plants)
+//	layer 7: experiments                      (drivers; may stand up ctrl plants)
 //
 // parallel sits below everything so that both the graph substrate (all-pairs
 // BFS) and the experiment drivers can fan work out through the same runner.
@@ -200,7 +201,8 @@ var layerOf = map[string]int{
 	"internal/traffic":     4,
 	"internal/twostage":    4,
 	"internal/ctrl":        5,
-	"internal/experiments": 6,
+	"internal/chaos":       6,
+	"internal/experiments": 7,
 }
 
 // runLayering enforces the package dependency DAG above.

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Segment is one piece of a piecewise-constant service-level time series:
+// the fabric delivered Value (a dimensionless service fraction, e.g.
+// served-capacity relative to the healthy baseline) for Dur units of
+// virtual time.
+type Segment struct {
+	Dur   float64
+	Value float64
+}
+
+// SLOSummary folds a service time series against an availability
+// threshold, the way reconfigurable-fabric operators judge a chaos soak:
+// not by the final recovered state but by the fraction of time the fabric
+// met its objective.
+type SLOSummary struct {
+	// Horizon is the total duration of the series.
+	Horizon float64
+	// Available is the duration spent at or above Threshold, and
+	// Availability the same as a fraction of Horizon.
+	Available    float64
+	Availability float64
+	// Threshold is the objective the series was judged against.
+	Threshold float64
+	// Mean is the time-weighted mean value; Min the worst value held for
+	// any positive duration.
+	Mean float64
+	Min  float64
+	// Breaches counts transitions from meeting the objective to violating
+	// it — how many distinct incidents the soak produced, as opposed to
+	// how long they lasted in total.
+	Breaches int
+}
+
+// SLO summarizes a piecewise-constant service series against an
+// availability threshold. Zero-duration segments are ignored; a negative
+// duration or an empty (or all-zero-duration) series is an error.
+func SLO(segs []Segment, threshold float64) (SLOSummary, error) {
+	s := SLOSummary{Threshold: threshold}
+	weighted := 0.0
+	first := true
+	// ok tracks whether the previous positive-duration segment met the
+	// objective, so Breaches counts incident starts, not violation time.
+	ok := true
+	for i, seg := range segs {
+		if seg.Dur < 0 {
+			return SLOSummary{}, fmt.Errorf("metrics: segment %d has negative duration %g", i, seg.Dur)
+		}
+		//flatlint:ignore floatcmp zero-duration segments are produced by exact literal 0, not arithmetic; anything else, however tiny, must count toward the horizon
+		if seg.Dur == 0 {
+			continue
+		}
+		s.Horizon += seg.Dur
+		weighted += seg.Dur * seg.Value
+		if first || seg.Value < s.Min {
+			s.Min = seg.Value
+		}
+		first = false
+		meets := seg.Value >= threshold
+		if meets {
+			s.Available += seg.Dur
+		} else if ok {
+			s.Breaches++
+		}
+		ok = meets
+	}
+	if first {
+		return SLOSummary{}, errors.New("metrics: SLO needs a series with positive total duration")
+	}
+	s.Mean = weighted / s.Horizon
+	s.Availability = s.Available / s.Horizon
+	return s, nil
+}

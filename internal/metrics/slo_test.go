@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSLOSummary(t *testing.T) {
+	segs := []Segment{
+		{Dur: 4, Value: 1.0},
+		{Dur: 1, Value: 0.5},  // breach 1
+		{Dur: 2, Value: 0.95}, // recovered
+		{Dur: 0, Value: 0.0},  // zero-duration: ignored entirely
+		{Dur: 1, Value: 0.8},  // breach 2
+		{Dur: 2, Value: 0.7},  // still the same incident
+	}
+	s, err := SLO(segs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Horizon-10) > 1e-12 {
+		t.Errorf("Horizon = %g, want 10", s.Horizon)
+	}
+	if math.Abs(s.Available-6) > 1e-12 || math.Abs(s.Availability-0.6) > 1e-12 {
+		t.Errorf("Available = %g (%g), want 6 (0.6)", s.Available, s.Availability)
+	}
+	if s.Breaches != 2 {
+		t.Errorf("Breaches = %d, want 2 (zero-duration segment must not split an incident)", s.Breaches)
+	}
+	want := (4*1.0 + 1*0.5 + 2*0.95 + 1*0.8 + 2*0.7) / 10
+	if math.Abs(s.Mean-want) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", s.Mean, want)
+	}
+	if math.Abs(s.Min-0.5) > 1e-12 {
+		t.Errorf("Min = %g, want 0.5", s.Min)
+	}
+}
+
+func TestSLOAllAvailable(t *testing.T) {
+	s, err := SLO([]Segment{{Dur: 3, Value: 1}, {Dur: 7, Value: 0.91}}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Availability-1) > 1e-12 || s.Breaches != 0 {
+		t.Errorf("clean series: availability=%g breaches=%d", s.Availability, s.Breaches)
+	}
+}
+
+func TestSLOErrors(t *testing.T) {
+	if _, err := SLO(nil, 0.9); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := SLO([]Segment{{Dur: 0, Value: 1}}, 0.9); err == nil {
+		t.Error("all-zero-duration series accepted")
+	}
+	if _, err := SLO([]Segment{{Dur: -1, Value: 1}}, 0.9); err == nil {
+		t.Error("negative duration accepted")
+	}
+}

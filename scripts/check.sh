@@ -3,9 +3,9 @@
 # gofmt, the custom flatlint static-analysis pass, the unit tests, and the
 # race detector on the concurrent packages (the ctrl control plane spawns
 # per-connection goroutines; dynsim drives it under load; parallel is the
-# deterministic fan-out runner; graph, metrics, faults, and experiments fan
-# their sweeps out through it; flatlint parses and type-checks packages
-# concurrently). The unit-test leg runs with -shuffle=on so inter-test
+# deterministic fan-out runner; graph, metrics, faults, chaos, and
+# experiments fan their sweeps out through it; flatlint parses and
+# type-checks packages concurrently). The unit-test leg runs with -shuffle=on so inter-test
 # ordering dependencies surface, and the flatlint leg archives its -json
 # findings as FLATLINT.json next to the benchmark baselines. CI and local
 # development both run exactly this script:
@@ -56,8 +56,17 @@ go test -shuffle=on ./...
 echo "== go test -race (concurrent packages)"
 go test -race ./internal/ctrl/... ./internal/dynsim/... \
     ./internal/parallel/... ./internal/graph/... ./internal/metrics/... \
-    ./internal/faults/... ./internal/experiments/... \
+    ./internal/faults/... ./internal/chaos/... ./internal/experiments/... \
     ./internal/flatlint/...
+
+echo "== soak smoke (bounded chaos soak, fixed seed)"
+# A tiny end-to-end soak through the real CLI: small k, short virtual
+# horizon, fixed seed. Proves the subcommand wiring (flag validation,
+# warm-stats reset, table emission) against a live control plane; the
+# determinism and overlap guarantees are pinned by the chaos and
+# experiments test suites above.
+go run ./cmd/flatsim -kmax 4 -eps 0.3 -rate 2 -horizon 3 -seed 1 \
+    -tsv soak > /dev/null
 
 echo "== bench smoke (1 iteration; compiles and runs the kernel benches)"
 # One pinned iteration of the SSSP kernel benchmarks: not a perf
