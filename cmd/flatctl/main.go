@@ -17,10 +17,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"flattree/internal/core"
@@ -63,9 +66,14 @@ func serve(args []string) {
 	l, err := net.Listen("tcp", *listen)
 	check(err)
 	fmt.Printf("flatctl: controller for flat-tree(k=%d) on %s, waiting for %d agents\n", *k, l.Addr(), *k)
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	// Ctrl-C / SIGTERM cancels the context: Serve closes the listener and
+	// Close drains the per-connection goroutines, mirroring flatsim.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
 	defer cancel()
 	go c.Serve(ctx, l)
+	defer c.Close()
 	check(c.WaitForAgents(ctx, *k))
 	fmt.Printf("flatctl: %d agents registered, converting to %s\n", c.NumAgents(), *mode)
 	modes, err := parseModes(*mode, *k)
@@ -92,7 +100,14 @@ func agent(args []string) {
 	a := ctrl.NewAgent(*pod, ctrl.ConfigsForPod(ft, *pod))
 	a.ApplyDelay = *delay
 	fmt.Printf("flatctl: agent for pod %d connecting to %s\n", *pod, *connect)
-	check(a.Run(context.Background(), *connect))
+	// Ctrl-C / SIGTERM cancels the agent's context; Run tears down its
+	// connection and returns the context error, which exits 0 here — an
+	// operator stopping an agent is a clean shutdown, not a failure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := a.Run(ctx, *connect); err != nil && !errors.Is(err, context.Canceled) {
+		check(err)
+	}
 }
 
 func demo(args []string) {
@@ -167,8 +182,13 @@ func printStats(ft *core.FlatTree) {
 }
 
 func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "flatctl:", err)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "flatctl: interrupted:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "flatctl:", err)
+	os.Exit(1)
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|selfheal|soak|latency|stats|export|all
+//	flatsim serve [serve flags]
 //
 // Examples:
 //
@@ -15,6 +16,7 @@
 //	flatsim -kmax 8 -trials 5 faultsrecovery   # §5 failure -> recovery table
 //	flatsim -kmax 8 -failfrac 0.25 selfheal    # live self-healing trajectory
 //	flatsim -kmax 8 -rate 1 -horizon 20 soak   # chaos soak: continuous failures vs self-healing
+//	flatsim serve -listen :8447 -store ./flatstore   # experiment service with a persistent cell cache
 //
 // Long sweeps respond to Ctrl-C / SIGTERM and to -timeout by stopping
 // promptly with a partial-result message; already-printed tables remain
@@ -46,6 +48,13 @@ import (
 )
 
 func main() {
+	// The serve subcommand has its own flag surface (service knobs, not
+	// experiment parameters), so it dispatches before the global FlagSet
+	// sees the arguments.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	cfg := experiments.DefaultConfig()
 	var (
 		kmin    = flag.Int("kmin", cfg.KMin, "smallest fat-tree parameter k (even)")
@@ -83,7 +92,8 @@ func main() {
 		soakMix      = flag.String("mix", "", "soak: episode mix weights link,switch,conv,pod (empty = 5,3,1,1)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|selfheal|soak|latency|stats|export|all\n")
+		fmt.Fprintf(os.Stderr, "usage: flatsim [flags] fig5|fig6|fig7|fig8|hybrid|profile|props|faults|faultsrecovery|selfheal|soak|latency|stats|export|all\n"+
+			"       flatsim serve [serve flags]   (see flatsim serve -h)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmokeEndToEnd drives the built binary the way an operator
+// would: start `flatsim serve` on an ephemeral port, issue a cold and a
+// warm request (identical bodies, miss then hit), SIGTERM it, and require
+// a clean exit with the cell persisted on disk.
+func TestServeSmokeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "flatsim")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	storeDir := filepath.Join(t.TempDir(), "store")
+
+	cmd := exec.Command(bin, "serve", "-listen", "127.0.0.1:0", "-store", storeDir, "-codeversion", "smoke")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	// The first stdout line announces the resolved ephemeral address.
+	r := bufio.NewReader(stdout)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading serve banner: %v (stderr: %s)", err, stderr.String())
+	}
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("no address in banner %q", line)
+	}
+	base := strings.Fields(line[i:])[0]
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	if resp, body := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	const cell = "/v1/cell?exp=fig5&col=fat-tree&kmax=6"
+	cold, coldBody := get(cell)
+	if cold.StatusCode != http.StatusOK || cold.Header.Get("X-Flatsim-Cache") != "miss" {
+		t.Fatalf("cold: %d cache=%q body=%s", cold.StatusCode, cold.Header.Get("X-Flatsim-Cache"), coldBody)
+	}
+	warm, warmBody := get(cell)
+	if warm.StatusCode != http.StatusOK || warm.Header.Get("X-Flatsim-Cache") != "hit" {
+		t.Fatalf("warm: %d cache=%q", warm.StatusCode, warm.Header.Get("X-Flatsim-Cache"))
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Fatalf("warm body differs from cold:\n--- cold\n%s--- warm\n%s", coldBody, warmBody)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(r)
+	if err := waitTimeout(cmd, 30*time.Second); err != nil {
+		t.Fatalf("serve did not exit cleanly on SIGTERM: %v (stdout: %s, stderr: %s)", err, rest, stderr.String())
+	}
+	if !strings.Contains(string(rest), "drained cleanly") {
+		t.Errorf("missing drain confirmation in output %q", rest)
+	}
+	cells, err := filepath.Glob(filepath.Join(storeDir, "*.cell"))
+	if err != nil || len(cells) != 1 {
+		t.Errorf("store has %d cells after drain (%v); want 1", len(cells), err)
+	}
+}
+
+// waitTimeout waits for the process, failing if it outlives d.
+func waitTimeout(cmd *exec.Cmd, d time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		return fmt.Errorf("timed out after %v", d)
+	}
+}

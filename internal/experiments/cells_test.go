@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// cellTSV renders one cell through the Cell entry point.
+func cellTSV(t *testing.T, cfg Config, sp CellSpec) []byte {
+	t.Helper()
+	tab, err := Cell(context.Background(), cfg, sp)
+	if err != nil {
+		t.Fatalf("Cell(%+v): %v", sp, err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCellMatchesFullTable pins the cache-soundness contract the serve
+// layer depends on: a single extracted cell prints byte-for-byte the bytes
+// the same column carries inside a full table run. Figure columns recompute
+// only their own (column, trial) chains; scenario experiments rerun the
+// whole driver and project — both must land on identical bytes.
+func TestCellMatchesFullTable(t *testing.T) {
+	cfg := Config{KMin: 4, KMax: 6, KStep: 2, Seed: 1, Epsilon: 0.3, Trials: 2, Parallelism: 4}
+	experiments := []string{"fig5", "fig6", "fig7", "fig8", "faults", "latency", "props"}
+	for _, exp := range experiments {
+		full, err := Cell(context.Background(), cfg, CellSpec{Experiment: exp})
+		if err != nil {
+			t.Fatalf("%s full table: %v", exp, err)
+		}
+		for ci, col := range full.Header[1:] {
+			want := &Table{Title: full.Title, Header: []string{full.Header[0], col}}
+			for _, r := range full.Rows {
+				want.AddRow(r[0], r[1+ci])
+			}
+			var wantBuf bytes.Buffer
+			if err := want.WriteTSV(&wantBuf); err != nil {
+				t.Fatal(err)
+			}
+			got := cellTSV(t, cfg, CellSpec{Experiment: exp, Column: col})
+			if !bytes.Equal(got, wantBuf.Bytes()) {
+				t.Errorf("%s column %q: extracted cell differs from full table\n--- full\n%s--- cell\n%s",
+					exp, col, wantBuf.Bytes(), got)
+			}
+		}
+	}
+}
+
+// TestCellDeterministicAcrossWorkerCounts extends the determinism contract
+// to the cell entry points: a figure column computed alone is
+// byte-identical at any Parallelism.
+func TestCellDeterministicAcrossWorkerCounts(t *testing.T) {
+	specs := []CellSpec{
+		{Experiment: "fig7", Column: "flat-tree/loc"},
+		{Experiment: "fig8", Column: "two-stage-rg/weak"},
+		{Experiment: "fig5", Column: "random-graph"},
+	}
+	for _, sp := range specs {
+		var want []byte
+		for _, workers := range []int{1, 4} {
+			cfg := Config{KMin: 4, KMax: 6, KStep: 2, Seed: 2, Epsilon: 0.3, Trials: 2, Parallelism: workers}
+			got := cellTSV(t, cfg, sp)
+			if workers == 1 {
+				want = got
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s/%s: workers=%d differs from workers=1\n--- w1\n%s--- w%d\n%s",
+					sp.Experiment, sp.Column, workers, want, workers, got)
+			}
+		}
+	}
+}
+
+// TestColumnsMatchHeaders pins Columns against the tables the drivers
+// actually print, so the serve layer's column listing can never drift.
+func TestColumnsMatchHeaders(t *testing.T) {
+	cfg := Config{KMin: 4, KMax: 4, Seed: 1, Epsilon: 0.3}
+	for _, exp := range []string{"fig5", "fig6", "fig7", "fig8"} {
+		cols, err := Columns(exp)
+		if err != nil {
+			t.Fatalf("Columns(%s): %v", exp, err)
+		}
+		tab, err := Cell(context.Background(), cfg, CellSpec{Experiment: exp})
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if got := strings.Join(tab.Header[1:], ","); got != strings.Join(cols, ",") {
+			t.Errorf("%s: Columns()=%v but table header data columns are %v", exp, cols, tab.Header[1:])
+		}
+	}
+	for _, exp := range []string{"soak", "hybrid", "props"} {
+		cols, err := Columns(exp)
+		if err != nil || cols != nil {
+			t.Errorf("Columns(%s) = %v, %v; want nil, nil (whole-table experiment)", exp, cols, err)
+		}
+	}
+	if _, err := Columns("nope"); err == nil {
+		t.Error("Columns(nope): expected error")
+	}
+}
+
+// TestProjectColumn covers the projection path scenario cells go through.
+func TestProjectColumn(t *testing.T) {
+	tab := &Table{Title: "t", Header: []string{"k", "a", "b"}}
+	tab.AddRow("4", "1.0", "2.0")
+	tab.AddRow("6", "3.0", "4.0~")
+	p, err := ProjectColumn(tab, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Header) != 2 || p.Header[1] != "b" || p.Rows[1][1] != "4.0~" {
+		t.Errorf("bad projection: %+v", p)
+	}
+	if !p.Approximate() {
+		t.Error("projected table should report Approximate")
+	}
+	if tabA, _ := ProjectColumn(tab, "a"); tabA.Approximate() {
+		t.Error("column a has no ~ cells")
+	}
+	if _, err := ProjectColumn(tab, "zzz"); err == nil {
+		t.Error("expected error for unknown column")
+	}
+}

@@ -41,63 +41,98 @@ var Fig5Settings = []MNSetting{
 	{1, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 2},
 }
 
+// fig5Header is Figure 5's full header, the key column plus one data column
+// per topology and (m, n) setting.
+func fig5Header() []string {
+	h := []string{"k", "fat-tree", "random-graph"}
+	for _, s := range Fig5Settings {
+		h = append(h, s.Label())
+	}
+	return h
+}
+
+// fig5Cell computes one (k, column) cell of Figure 5 — a topology build
+// plus an all-pairs BFS sweep. It is a pure function of (cfg.Seed, k, ci),
+// so the cell prints the same bytes whether it runs inside a full table
+// fan-out or alone.
+func fig5Cell(cfg Config, k, ci int) (string, error) {
+	var nw *topo.Network
+	switch ci {
+	case 0:
+		fat, err := fattree.New(k)
+		if err != nil {
+			return "", err
+		}
+		nw = fat.Net
+	case 1:
+		rg, err := jellyfish.New(k, cfg.Seed)
+		if err != nil {
+			return "", err
+		}
+		nw = rg.Net
+	default:
+		s := Fig5Settings[ci-2]
+		m, n := s.Resolve(k)
+		if m+n > k/2 {
+			return "-", nil // infeasible for this k
+		}
+		ft, err := core.Build(core.Params{K: k, M: m, N: n})
+		if err != nil {
+			return "", err
+		}
+		if err := ft.SetUniformMode(core.ModeGlobalRandom); err != nil {
+			return "", err
+		}
+		nw = ft.Net()
+	}
+	apl, err := metrics.AveragePathLength(nw)
+	if err != nil {
+		return "", fmt.Errorf("fig5 k=%d col=%d: %w", k, ci, err)
+	}
+	return f3(apl), nil
+}
+
 // Fig5 regenerates Figure 5: network-wide average path length of server
 // pairs versus k, for fat-tree, random graph, and flat-tree in
-// global-random mode under each (m, n) setting. Every (k, column) cell —
-// one topology build plus an all-pairs BFS sweep — runs concurrently
-// through the worker pool.
+// global-random mode under each (m, n) setting. Every (k, column) cell
+// runs concurrently through the worker pool.
 func Fig5(ctx context.Context, cfg Config) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 5: average path length of server pairs in the entire network",
-		Header: []string{"k", "fat-tree", "random-graph"},
-	}
-	for _, s := range Fig5Settings {
-		t.Header = append(t.Header, s.Label())
+		Header: fig5Header(),
 	}
 	ks := cfg.Ks()
-	cols := 2 + len(Fig5Settings)
+	cols := len(t.Header) - 1
 	cells, err := parallel.MapCtx(ctx, len(ks)*cols, cfg.workers(), func(idx int) (string, error) {
-		k, ci := ks[idx/cols], idx%cols
-		var nw *topo.Network
-		switch ci {
-		case 0:
-			fat, err := fattree.New(k)
-			if err != nil {
-				return "", err
-			}
-			nw = fat.Net
-		case 1:
-			rg, err := jellyfish.New(k, cfg.Seed)
-			if err != nil {
-				return "", err
-			}
-			nw = rg.Net
-		default:
-			s := Fig5Settings[ci-2]
-			m, n := s.Resolve(k)
-			if m+n > k/2 {
-				return "-", nil // infeasible for this k
-			}
-			ft, err := core.Build(core.Params{K: k, M: m, N: n})
-			if err != nil {
-				return "", err
-			}
-			if err := ft.SetUniformMode(core.ModeGlobalRandom); err != nil {
-				return "", err
-			}
-			nw = ft.Net()
-		}
-		apl, err := metrics.AveragePathLength(nw)
-		if err != nil {
-			return "", fmt.Errorf("fig5 k=%d col=%d: %w", k, ci, err)
-		}
-		return f3(apl), nil
+		return fig5Cell(cfg, ks[idx/cols], idx%cols)
 	})
 	if err != nil {
 		return nil, err
 	}
 	for ki, k := range ks {
 		t.AddRow(append([]string{fmt.Sprint(k)}, cells[ki*cols:(ki+1)*cols]...)...)
+	}
+	return t, nil
+}
+
+// fig5Column computes one Figure 5 data column as a standalone cell table:
+// the same fig5Cell evaluations a full run performs, restricted to column
+// ci.
+func fig5Column(ctx context.Context, cfg Config, ci int) (*Table, error) {
+	h := fig5Header()
+	t := &Table{
+		Title:  "Figure 5: average path length of server pairs in the entire network",
+		Header: []string{h[0], h[1+ci]},
+	}
+	ks := cfg.Ks()
+	cells, err := parallel.MapCtx(ctx, len(ks), cfg.workers(), func(ki int) (string, error) {
+		return fig5Cell(cfg, ks[ki], ci)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range ks {
+		t.AddRow(fmt.Sprint(k), cells[ki])
 	}
 	return t, nil
 }

@@ -30,6 +30,7 @@ var analyzers = []analyzer{
 	{name: "gorolife", internalOnly: true, run: runGorolife},
 	{name: "clockwall", internalOnly: true, run: runClockwall},
 	{name: "randflow", internalOnly: true, run: runRandflow},
+	{name: "httptimeout", run: runHttptimeout},
 }
 
 var knownAnalyzers = func() map[string]bool {
@@ -167,13 +168,14 @@ func runGlobalrand(pc *pkgChecker) {
 // An import is legal only from a higher layer to a strictly lower one:
 //
 //	layer 0: parallel                         (worker pool + seed streams, std-lib only)
-//	layer 1: converter, graph, lp, flatlint   (leaf utilities)
+//	layer 1: converter, graph, lp, flatlint, store (leaf utilities)
 //	layer 2: topo                             (labeled topology model)
 //	layer 3: core, fattree, faults, jellyfish, mcf, metrics, routing
 //	layer 4: dynsim, flowsim, pktsim, traffic, twostage (simulators)
 //	layer 5: ctrl                             (control plane)
 //	layer 6: chaos                            (soak engine; drives ctrl plants)
 //	layer 7: experiments                      (drivers; may stand up ctrl plants)
+//	layer 8: serve                            (experiment service; caches experiments in store)
 //
 // parallel sits below everything so that both the graph substrate (all-pairs
 // BFS) and the experiment drivers can fan work out through the same runner.
@@ -187,6 +189,7 @@ var layerOf = map[string]int{
 	"internal/flatlint":    1,
 	"internal/graph":       1,
 	"internal/lp":          1,
+	"internal/store":       1,
 	"internal/topo":        2,
 	"internal/core":        3,
 	"internal/fattree":     3,
@@ -203,6 +206,7 @@ var layerOf = map[string]int{
 	"internal/ctrl":        5,
 	"internal/chaos":       6,
 	"internal/experiments": 7,
+	"internal/serve":       8,
 }
 
 // runLayering enforces the package dependency DAG above.

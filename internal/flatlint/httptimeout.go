@@ -1,0 +1,75 @@
+package flatlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// httpServeFuncs are the net/http package-level helpers that run an
+// implicit Server the caller never configured — no ReadHeaderTimeout, no
+// way to drain it on shutdown.
+var httpServeFuncs = map[string]bool{
+	"ListenAndServe": true, "ListenAndServeTLS": true,
+	"Serve": true, "ServeTLS": true,
+}
+
+// runHttptimeout enforces the repo's HTTP hardening rule: every
+// net/http.Server must set ReadHeaderTimeout. The default is no timeout
+// at all, so a single slow-loris client dribbling header bytes holds a
+// connection (and its goroutine) open forever — exactly the unbounded
+// resource growth the experiment service's admission control exists to
+// prevent. Two patterns are flagged:
+//
+//  1. an http.Server composite literal with no ReadHeaderTimeout key, and
+//  2. the package-level http.ListenAndServe / Serve helpers, which run an
+//     unconfigurable implicit Server.
+func runHttptimeout(pc *pkgChecker) {
+	info := pc.pkg.Info
+	for _, f := range pc.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if !isHTTPServer(info.TypeOf(n)) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "ReadHeaderTimeout" {
+						return true
+					}
+				}
+				pc.reportf("httptimeout", n.Pos(),
+					"http.Server literal without ReadHeaderTimeout; the default never times out header reads, so one slow client pins a goroutine forever — set ReadHeaderTimeout")
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+					return true
+				}
+				if obj.Parent() != obj.Pkg().Scope() || !httpServeFuncs[obj.Name()] {
+					return true
+				}
+				pc.reportf("httptimeout", n.Pos(),
+					"http.%s runs an implicit Server with no timeouts; construct an http.Server with ReadHeaderTimeout and serve through it", obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isHTTPServer reports whether t is net/http.Server (the literal struct,
+// not a pointer — composite literals always type as the struct).
+func isHTTPServer(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Server"
+}

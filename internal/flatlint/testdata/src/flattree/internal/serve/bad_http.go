@@ -1,0 +1,20 @@
+// Package serve is the httptimeout fixture: every http.Server must set
+// ReadHeaderTimeout, and the package-level helpers that run an implicit,
+// unconfigurable Server are forbidden.
+package serve
+
+import "net/http"
+
+// Bad builds a Server with no read-header timeout (flagged) and serves
+// through the implicit-Server helper (also flagged).
+func Bad() (*http.Server, error) {
+	s := &http.Server{Addr: "127.0.0.1:0"}
+	return s, http.ListenAndServe("127.0.0.1:0", nil)
+}
+
+// Waived demonstrates suppression: the directive carries the reason, so
+// this literal must not appear in the golden findings.
+func Waived() *http.Server {
+	//flatlint:ignore httptimeout fixture: suppressed finding for the directive test
+	return &http.Server{Addr: "127.0.0.1:0"}
+}

@@ -1,0 +1,9 @@
+// Package store is a layering fixture: store sits at layer 1 (a leaf
+// utility the serve layer caches into) and may not import the layer-7
+// experiments package.
+package store
+
+import "flattree/internal/experiments"
+
+// Describe pulls a higher layer downward and is flagged.
+func Describe() string { return experiments.Name() }

@@ -90,6 +90,40 @@ func TestTimeBudgetStopsSolve(t *testing.T) {
 	}
 }
 
+// TestCtxDeadlineDerivesBudget pins deadline propagation: a context
+// deadline alone (no TimeBudget) must degrade a long solve to an
+// approximate λ rather than surfacing context.DeadlineExceeded — that is
+// what lets a serving path turn client timeouts into `~` cells.
+func TestCtxDeadlineDerivesBudget(t *testing.T) {
+	ft, err := fattree.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := ft.Net.Servers()
+	var comms []Commodity
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			if i != j {
+				comms = append(comms, Commodity{Src: servers[i], Dst: servers[j], Demand: 1})
+			}
+		}
+	}
+	// Generous enough for the demand-scaling probe (which is unbudgeted),
+	// far too short for the eps=0.02 solve.
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	res, err := MaxConcurrentFlow(ctx, ft.Net, comms, Options{Epsilon: 0.02})
+	if err != nil {
+		t.Fatalf("deadline-bounded solve errored instead of degrading: %v", err)
+	}
+	if !res.Approximate {
+		t.Skip("solve converged inside the deadline; nothing to assert")
+	}
+	if res.Lambda < 0 {
+		t.Errorf("degraded lambda %g negative", res.Lambda)
+	}
+}
+
 func TestCancellationAbortsSolve(t *testing.T) {
 	ring := ringNetwork(6)
 	servers := ring.Servers()

@@ -98,6 +98,9 @@ type Options struct {
 	// so far is scaled down to feasibility and returned as a valid — but
 	// possibly well-below-optimal — Lambda, with Approximate set. This is
 	// a budget, not a cancellation: use the context to abort outright.
+	// A context deadline additionally caps the budget (minus a small
+	// safety margin), so a client timeout degrades to an approximate λ
+	// rather than erroring — deadline propagation for serving paths.
 	TimeBudget time.Duration
 	// SSSP selects the shortest-path kernel (default KernelAuto). Results
 	// are bit-identical across kernels; only speed differs.
@@ -514,6 +517,29 @@ func (st *solveState) fptas(ctx context.Context, nw *topo.Network, commodities [
 	var deadline time.Time
 	if opt.TimeBudget > 0 {
 		deadline = time.Now().Add(opt.TimeBudget) //flatlint:ignore clockwall TimeBudget is an explicit wall-clock cap; it bounds work, never the answer for a converged run
+	}
+	// Deadline propagation: a context deadline also arms (or tightens) the
+	// budget deadline, so a client timeout degrades the solve to a valid
+	// approximate λ instead of tearing it down mid-phase with a hard
+	// error. A margin is reserved ahead of the context deadline so the
+	// degrade path wins the race against the ctx.Err() check — shrinking
+	// with the remaining time so chained solves under one request deadline
+	// each still get a positive budget. (The demand-scaling probe above is
+	// context-checked but unbudgeted: a deadline shorter than the probe
+	// still surfaces as a context error.)
+	if d, ok := ctx.Deadline(); ok {
+		//flatlint:ignore clockwall converting the context's wall-clock deadline into a budget deadline; bounds work, never the answer for a converged run
+		remaining := time.Until(d)
+		margin := remaining / 8
+		if margin > 100*time.Millisecond {
+			margin = 100 * time.Millisecond
+		}
+		if margin < 200*time.Microsecond {
+			margin = 200 * time.Microsecond
+		}
+		if cd := d.Add(-margin); deadline.IsZero() || cd.Before(deadline) {
+			deadline = cd
+		}
 	}
 	converged := false
 

@@ -1,0 +1,50 @@
+package metrics
+
+import "sync/atomic"
+
+// ServiceCounters are the experiment service's operational counters:
+// lock-free atomics bumped on the request path, snapshotted by the metrics
+// endpoint and by tests pinning behavior (e.g. singleflight's
+// exactly-one-solve contract is asserted as Misses == 1).
+type ServiceCounters struct {
+	hits             atomic.Int64
+	misses           atomic.Int64
+	shared           atomic.Int64
+	sheds            atomic.Int64
+	deadlineDegrades atomic.Int64
+	errors           atomic.Int64
+}
+
+// ServiceStats is a point-in-time snapshot of ServiceCounters.
+type ServiceStats struct {
+	// Hits served stored bytes; Misses computed a cell cold; Shared
+	// joined another request's in-flight identical computation
+	// (singleflight followers).
+	Hits, Misses, Shared int64
+	// Sheds were rejected at admission (queue depth cap).
+	Sheds int64
+	// DeadlineDegrades are cells a client deadline truncated to an
+	// approximate (λ~) result.
+	DeadlineDegrades int64
+	// Errors are requests that failed after admission.
+	Errors int64
+}
+
+func (c *ServiceCounters) Hit()             { c.hits.Add(1) }
+func (c *ServiceCounters) Miss()            { c.misses.Add(1) }
+func (c *ServiceCounters) Share()           { c.shared.Add(1) }
+func (c *ServiceCounters) Shed()            { c.sheds.Add(1) }
+func (c *ServiceCounters) DeadlineDegrade() { c.deadlineDegrades.Add(1) }
+func (c *ServiceCounters) Error()           { c.errors.Add(1) }
+
+// Read snapshots the counters.
+func (c *ServiceCounters) Read() ServiceStats {
+	return ServiceStats{
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Shared:           c.shared.Load(),
+		Sheds:            c.sheds.Load(),
+		DeadlineDegrades: c.deadlineDegrades.Load(),
+		Errors:           c.errors.Load(),
+	}
+}

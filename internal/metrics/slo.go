@@ -1,9 +1,6 @@
 package metrics
 
-import (
-	"errors"
-	"fmt"
-)
+import "fmt"
 
 // Segment is one piece of a piecewise-constant service-level time series:
 // the fabric delivered Value (a dimensionless service fraction, e.g.
@@ -39,7 +36,11 @@ type SLOSummary struct {
 
 // SLO summarizes a piecewise-constant service series against an
 // availability threshold. Zero-duration segments are ignored; a negative
-// duration or an empty (or all-zero-duration) series is an error.
+// duration is an error. An empty (or all-zero-duration) series is
+// well-defined, not an error: every field is zero except Threshold —
+// zero horizon, zero availability, zero breaches, never NaN — so callers
+// folding an aborted or degenerate soak never divide by the horizon
+// themselves.
 func SLO(segs []Segment, threshold float64) (SLOSummary, error) {
 	s := SLOSummary{Threshold: threshold}
 	weighted := 0.0
@@ -70,7 +71,7 @@ func SLO(segs []Segment, threshold float64) (SLOSummary, error) {
 		ok = meets
 	}
 	if first {
-		return SLOSummary{}, errors.New("metrics: SLO needs a series with positive total duration")
+		return SLOSummary{Threshold: threshold}, nil
 	}
 	s.Mean = weighted / s.Horizon
 	s.Availability = s.Available / s.Horizon

@@ -46,13 +46,49 @@ func TestSLOAllAvailable(t *testing.T) {
 	}
 }
 
-func TestSLOErrors(t *testing.T) {
-	if _, err := SLO(nil, 0.9); err == nil {
-		t.Error("empty series accepted")
+// TestSLOEdgeCases pins the degenerate-input contract: empty,
+// single-sample, and all-zero-duration series produce well-defined values
+// — never NaN, never an error — so a service folding an aborted soak can
+// always render the summary.
+func TestSLOEdgeCases(t *testing.T) {
+	finite := func(name string, s SLOSummary) {
+		t.Helper()
+		for field, v := range map[string]float64{
+			"Horizon": s.Horizon, "Available": s.Available, "Availability": s.Availability,
+			"Mean": s.Mean, "Min": s.Min, "Threshold": s.Threshold,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %g; must be finite", name, field, v)
+			}
+		}
 	}
-	if _, err := SLO([]Segment{{Dur: 0, Value: 1}}, 0.9); err == nil {
-		t.Error("all-zero-duration series accepted")
+	cases := []struct {
+		name string
+		segs []Segment
+		want SLOSummary
+	}{
+		{"empty", nil, SLOSummary{Threshold: 0.9}},
+		{"all-zero-duration", []Segment{{Dur: 0, Value: 1}, {Dur: 0, Value: 0}}, SLOSummary{Threshold: 0.9}},
+		{"single-sample-meets", []Segment{{Dur: 2, Value: 1}},
+			SLOSummary{Horizon: 2, Available: 2, Availability: 1, Threshold: 0.9, Mean: 1, Min: 1}},
+		{"single-sample-breaches", []Segment{{Dur: 2, Value: 0.5}},
+			SLOSummary{Horizon: 2, Threshold: 0.9, Mean: 0.5, Min: 0.5, Breaches: 1}},
+		{"single-zero-value", []Segment{{Dur: 1, Value: 0}},
+			SLOSummary{Horizon: 1, Threshold: 0.9, Breaches: 1}},
 	}
+	for _, c := range cases {
+		s, err := SLO(c.segs, 0.9)
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+			continue
+		}
+		finite(c.name, s)
+		if s != c.want {
+			t.Errorf("%s: SLO = %+v, want %+v", c.name, s, c.want)
+		}
+	}
+	// The one remaining error: negative durations are corrupt input, not a
+	// degenerate series.
 	if _, err := SLO([]Segment{{Dur: -1, Value: 1}}, 0.9); err == nil {
 		t.Error("negative duration accepted")
 	}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// cellResult is what one computation produces and every request of the
+// flight shares.
+type cellResult struct {
+	body        []byte
+	approximate bool
+}
+
+// flightCall is one in-flight computation; done closes when body/err are
+// final.
+type flightCall struct {
+	done chan struct{}
+	res  *cellResult
+	err  error
+}
+
+// flightGroup is a minimal singleflight: concurrent do calls with the same
+// key share one execution of fn. The flight key includes the request
+// timeout (not just the content address), so a short-deadline leader can
+// never hand its truncated approximate result to a follower that asked for
+// a full solve.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+	// waiters counts followers currently blocked on a leader — tests use
+	// it to sequence deterministically; it is not a metric.
+	waiters atomic.Int64
+}
+
+// do runs fn once per key among concurrent callers. The second return is
+// true for followers that shared a leader's result. A follower whose ctx
+// ends stops waiting and returns the ctx error; the leader's computation
+// continues for the remaining followers.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*cellResult, error)) (*cellResult, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.waiters.Add(1)
+		defer g.waiters.Add(-1)
+		select {
+		case <-c.done:
+			return c.res, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, false, c.err
+}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// childDirEnv re-enters this test binary as a writer child; see
+// TestKill9MidWriteRecovery.
+const childDirEnv = "FLATSTORE_KILL9_CHILD_DIR"
+
+// kill9Payload derives the deterministic ~256KB payload for write index i,
+// so the parent can verify surviving entries byte-for-byte without any
+// channel back from the killed child.
+func kill9Payload(i int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("cell %04d|", i)), 256*1024/10)
+}
+
+// TestKill9MidWriteRecovery is the fault-injection test the store's crash
+// safety contract rests on: a child process writes entries in a tight loop
+// and is SIGKILLed mid-stream — no defers, no cleanup, the closest a test
+// gets to a power cut. The parent then reopens the directory and requires
+// that recovery is total: no temp files survive the sweep, and every
+// committed entry verifies and serves exactly the bytes its key implies.
+func TestKill9MidWriteRecovery(t *testing.T) {
+	if dir := os.Getenv(childDirEnv); dir != "" {
+		kill9Child(dir)
+		return
+	}
+	if testing.Short() {
+		t.Skip("child-process fault injection; skipped in -short")
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	cmd := exec.Command(os.Args[0], "-test.run=TestKill9MidWriteRecovery$", "-test.v")
+	cmd.Env = append(os.Environ(), childDirEnv+"="+dir)
+	var childOut bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &childOut, &childOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the child commit a few entries, then kill it mid-stream. The
+	// child never stops on its own, so whenever the signal lands it is
+	// either inside a Put or between two — both must recover.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			t.Fatalf("child never committed 3 entries; output:\n%s", childOut.String())
+		}
+		entries, _ := filepath.Glob(filepath.Join(dir, "*"+entrySuffix))
+		if len(entries) >= 3 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ProcessState.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+		t.Fatalf("child exit = %v; want SIGKILL", err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after kill -9: %v", err)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*"+tmpSuffix)); len(tmps) != 0 {
+		t.Errorf("temp files survived recovery: %v", tmps)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*"+entrySuffix))
+	if err != nil || len(names) < 3 {
+		t.Fatalf("expected >= 3 recovered entries, have %d (%v)", len(names), err)
+	}
+	// Every surviving entry must serve exactly the payload its write index
+	// implies — recovery may drop the in-flight write, never alter a
+	// committed one.
+	verified := 0
+	for i := 0; ; i++ {
+		payload := kill9Payload(i)
+		got, ok, err := s.Get(testKey(fmt.Sprintf("kill9-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break // the killed write and everything after it
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("entry %d corrupted after recovery", i)
+		}
+		verified++
+	}
+	if verified != len(names) {
+		t.Errorf("verified %d sequential entries but %d files on disk", verified, len(names))
+	}
+	if st := s.Stats(); st.Entries != len(names) {
+		t.Errorf("stats = %+v; want %d entries", st, len(names))
+	}
+	t.Logf("recovered %d entries, %d torn writes removed (child output: %d bytes)",
+		verified, s.Stats().TornRemoved, childOut.Len())
+	if strings.Contains(childOut.String(), "FAIL") {
+		t.Errorf("child logged a failure before the kill:\n%s", childOut.String())
+	}
+}
+
+// kill9Child writes entries forever; it only exits by signal.
+func kill9Child(dir string) {
+	s, err := Open(dir)
+	if err != nil {
+		fmt.Printf("FAIL: child open: %v\n", err)
+		os.Exit(1)
+	}
+	for i := 0; ; i++ {
+		if err := s.Put(testKey(fmt.Sprintf("kill9-%d", i)), kill9Payload(i)); err != nil {
+			fmt.Printf("FAIL: child put %d: %v\n", i, err)
+			os.Exit(1)
+		}
+	}
+}

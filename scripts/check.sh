@@ -5,10 +5,12 @@
 # per-connection goroutines; dynsim drives it under load; parallel is the
 # deterministic fan-out runner; graph, metrics, faults, chaos, and
 # experiments fan their sweeps out through it; flatlint parses and
-# type-checks packages concurrently). The unit-test leg runs with -shuffle=on so inter-test
-# ordering dependencies surface, and the flatlint leg archives its -json
-# findings as FLATLINT.json next to the benchmark baselines. CI and local
-# development both run exactly this script:
+# type-checks packages concurrently; serve multiplexes HTTP requests over
+# a bounded solver pool and store takes concurrent Put/Get). The unit-test
+# leg runs with -shuffle=on so inter-test ordering dependencies surface,
+# and the flatlint leg archives its -json findings as FLATLINT.json next
+# to the benchmark baselines. CI and local development both run exactly
+# this script:
 #
 #	./scripts/check.sh
 #
@@ -57,7 +59,21 @@ echo "== go test -race (concurrent packages)"
 go test -race ./internal/ctrl/... ./internal/dynsim/... \
     ./internal/parallel/... ./internal/graph/... ./internal/metrics/... \
     ./internal/faults/... ./internal/chaos/... ./internal/experiments/... \
-    ./internal/flatlint/...
+    ./internal/flatlint/... ./internal/serve/... ./internal/store/...
+
+echo "== store crash-recovery (kill -9 mid-write, then reopen)"
+# The child-process fault-injection test: a writer is SIGKILLed mid-Put
+# and the reopened store must quarantine torn state and verify every
+# surviving entry byte-exactly. Run explicitly so the suite's one
+# non-deterministic-by-design test is visible as its own leg.
+go test -run 'TestKill9MidWriteRecovery' -count=1 ./internal/store
+
+echo "== serve smoke (build the binary, cold/warm cell, SIGTERM drain)"
+# End-to-end through the built flatsim binary: start `flatsim serve` on
+# an ephemeral port, issue a cold then warm request (miss then hit,
+# byte-identical), SIGTERM, and require a clean drain with the cell
+# persisted.
+go test -run 'TestServeSmokeEndToEnd' -count=1 ./cmd/flatsim
 
 echo "== soak smoke (bounded chaos soak, fixed seed)"
 # A tiny end-to-end soak through the real CLI: small k, short virtual
